@@ -1,0 +1,25 @@
+# Common developer targets.
+
+.PHONY: install test bench validate experiments examples
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+validate:
+	python -m repro validate
+
+experiments:
+	python tools/make_experiments.py
+
+examples:
+	python examples/quickstart.py
+	python examples/streaming_session.py
+	python examples/design_space_exploration.py
+	python examples/custom_video_profile.py
+	python examples/codec_trace_analysis.py

@@ -1,0 +1,102 @@
+"""Fig. 2b-2e and the Sec. 2.2 inefficiency statistics.
+
+CDFs of per-frame decode time/energy for the baseline (regions I-IV:
+~4 % drops / 12 % short slack / 37 % S1-capable / 40 % S3-capable) and
+the same plots with 16-frame batching (transitions shrink to ~1.2 % of
+frame time and deep sleep grows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    Region,
+    format_table,
+    region_mix,
+    stacked_energy_cdf,
+    stacked_time_cdf,
+)
+from repro.config import BASELINE, BATCHING, SimulationConfig
+from .conftest import cached_run
+
+_MIX = ("V1", "V3", "V5", "V8", "V11", "V14")
+_PAPER_REGIONS = {Region.I: 0.04, Region.II: 0.12,
+                  Region.III: 0.37, Region.IV: 0.40}
+
+
+def _region_table(config: SimulationConfig):
+    totals = {region: 0.0 for region in Region}
+    for key in _MIX:
+        result = cached_run(key, BASELINE)
+        mix = region_mix(result.timeline.decode_time,
+                         config.video.frame_interval,
+                         config.decoder.power_states)
+        for region, fraction in mix.items():
+            totals[region] += fraction / len(_MIX)
+    return totals
+
+
+def test_fig02b_region_mix(benchmark, emit, config):
+    totals = benchmark.pedantic(_region_table, args=(config,),
+                                rounds=1, iterations=1)
+    rows = [[r.value, totals[r], _PAPER_REGIONS[r]] for r in Region]
+    emit(format_table(["region", "measured", "paper"], rows,
+                      title="Fig. 2b: baseline frame regions"))
+    assert 0.01 < totals[Region.I] < 0.10
+    assert totals[Region.III] + totals[Region.IV] > 0.6
+
+
+def test_fig02_cdf_series(benchmark, emit):
+    """Stacked time/energy CDF means, baseline vs batching."""
+
+    def run():
+        rows = []
+        for scheme in (BASELINE, BATCHING):
+            result = cached_run("V8", scheme)
+            time_cdf = stacked_time_cdf(result.timeline)
+            energy_cdf = stacked_energy_cdf(result.timeline)
+            for label, cdf in (("time", time_cdf), ("energy", energy_cdf)):
+                rows.append([f"{scheme.name}/{label}"]
+                            + [cdf.mean_fraction(s) for s in
+                               ("execution", "short_slack", "transition",
+                                "s1", "s3")])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["series", "execution", "short_slack", "transition", "s1", "s3"],
+        rows, title="Fig. 2b-2e: mean stacked fractions"))
+    by_name = {row[0]: row for row in rows}
+    # Batching slashes the per-frame transition share (paper: 16x,
+    # down to ~1.2 % of frame time).
+    base_trans = by_name["Baseline/time"][3]
+    batch_trans = by_name["Batching/time"][3]
+    assert batch_trans < base_trans / 4
+    assert batch_trans < 0.03
+    # And grows deep sleep.
+    assert by_name["Batching/time"][5] > by_name["Baseline/time"][5]
+
+
+def test_sec22_transition_overheads(benchmark, emit, config):
+    """Sec. 2.2: transitions cost noticeable time and energy in the
+    baseline even with active power management."""
+
+    def run():
+        result = cached_run("V8", BASELINE)
+        timeline = result.timeline
+        sleeping = timeline.transition_time > 0
+        time_over = (timeline.transition_time[sleeping].sum()
+                     / timeline.total_time[sleeping].sum())
+        energy_over = (timeline.transition_energy[sleeping].sum()
+                       / timeline.total_energy[sleeping].sum())
+        return time_over, energy_over
+
+    time_over, energy_over = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["metric", "measured", "paper"],
+        [["transition time share (sleeping frames)", time_over, 0.138],
+         ["transition energy share (sleeping frames)", energy_over, 0.126]],
+        title="Sec. 2.2: baseline transition overheads"))
+    assert time_over > 0.04
+    assert energy_over > 0.04

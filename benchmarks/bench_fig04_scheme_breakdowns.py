@@ -1,0 +1,100 @@
+"""Fig. 4 and the Sec. 3.3 take-aways.
+
+(a)/(b): batching a window of frames cuts transition energy ~86 % and
+total VD-side energy ~20 %.  (c)/(d): Racing increases transition
+energy; Race-to-Sleep suppresses it again and maximizes deep sleep
+(~60 % S3 residency vs ~5 % baseline).  Sec. 3.3 also reports the
+memory-capacity cost of batching (~5.3x the triple-buffering footprint).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.config import BASELINE, BATCHING, RACE_TO_SLEEP, RACING
+from repro.decoder.power import PowerState
+from .conftest import cached_run
+
+_MIX = ("V1", "V5", "V8", "V14")
+
+
+def _vd_side(result):
+    """VD-side energy: execution + slack + sleep + transitions."""
+    return result.energy.vd_total
+
+
+def test_fig04ab_batching_effect(benchmark, emit):
+    def run():
+        rows = []
+        trans_cut = vd_cut = 0.0
+        for key in _MIX:
+            base = cached_run(key, BASELINE)
+            batch = cached_run(key, BATCHING)
+            t_cut = 1 - (batch.energy.transition
+                         / max(base.energy.transition, 1e-12))
+            v_cut = 1 - _vd_side(batch) / _vd_side(base)
+            rows.append([key, t_cut, v_cut, batch.transitions,
+                         base.transitions])
+            trans_cut += t_cut / len(_MIX)
+            vd_cut += v_cut / len(_MIX)
+        return rows, trans_cut, vd_cut
+
+    rows, trans_cut, vd_cut = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["video", "transition cut", "VD-side cut", "batch trans",
+         "base trans"], rows,
+        title="Fig. 4a/4b: batching-16 effect (paper: -86% trans, "
+              "-20% VD energy)"))
+    assert trans_cut > 0.75
+    assert vd_cut > 0.05
+
+
+def test_fig04cd_racing_vs_rts(benchmark, emit):
+    def run():
+        base = cached_run("V8", BASELINE)
+        racing = cached_run("V8", RACING)
+        rts = cached_run("V8", RACE_TO_SLEEP)
+        return base, racing, rts
+
+    base, racing, rts = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for result in (base, racing, rts):
+        rows.append([
+            result.scheme_name,
+            result.energy.transition * 1e3,
+            result.residency[PowerState.S3],
+            result.transitions,
+        ])
+    emit(format_table(
+        ["scheme", "transition mJ", "S3 residency", "transitions"], rows,
+        title="Fig. 4c/4d: racing raises transitions, RtS removes them"))
+    assert racing.energy.transition > base.energy.transition
+    assert rts.energy.transition < racing.energy.transition / 5
+    assert rts.residency[PowerState.S3] > racing.residency[PowerState.S3]
+
+
+def test_sec33_rts_takeaways(benchmark, emit, all_videos):
+    def run():
+        s3_base = s3_rts = frame_cut = 0.0
+        capacity = []
+        for key in all_videos[:8]:
+            base = cached_run(key, BASELINE)
+            rts = cached_run(key, RACE_TO_SLEEP)
+            s3_base += base.residency[PowerState.S3] / 8
+            s3_rts += rts.residency[PowerState.S3] / 8
+            frame_cut += (1 - _vd_side(rts) / _vd_side(base)) / 8
+            capacity.append(rts.peak_footprint_native_mb
+                            / max(base.peak_footprint_native_mb, 1e-9))
+        return s3_base, s3_rts, frame_cut, sum(capacity) / len(capacity)
+
+    s3_base, s3_rts, frame_cut, cap_ratio = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    emit(format_table(
+        ["metric", "measured", "paper"],
+        [["baseline S3 residency", s3_base, 0.05],
+         ["RtS S3 residency", s3_rts, 0.60],
+         ["VD-side frame-energy cut", frame_cut, 0.129],
+         ["memory capacity ratio", cap_ratio, 5.3]],
+        title="Sec. 3.3: Race-to-Sleep take-aways"))
+    assert s3_rts > 0.5
+    assert s3_rts > s3_base * 3
+    assert cap_ratio > 3.0

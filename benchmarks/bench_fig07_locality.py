@@ -1,0 +1,61 @@
+"""Fig. 7 — address locality vs value locality.
+
+(a) Growing the conventional VD cache helps the compute-phase accesses
+but not the decoded-frame writeback stream.  (b) The content census:
+~42 % of blocks match within the frame, ~15 % in the previous 16
+frames, ~43 % nowhere.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import content_census, format_table
+from repro.config import SimulationConfig
+from repro.decoder import vd_cache_study
+from repro.video import SyntheticVideo, workload, workload_keys
+from .conftest import BENCH_FRAMES, BENCH_SEED
+
+
+def test_fig07a_vd_cache_study(benchmark, emit, config):
+    capacities = [2048, 4096, 8192, 16384, 32768]
+
+    def run():
+        return vd_cache_study(config.video, capacities, frames=3)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[f"{r.capacity_bytes // 1024}KB*",
+             r.compute_miss_rate, r.writeback_miss_rate] for r in results]
+    emit(format_table(
+        ["capacity", "compute miss", "writeback miss"], rows,
+        title="Fig. 7a: conventional cache sweep (*capacities scaled "
+              "with the sim resolution; paper sweeps 32-512KB at 4K)"))
+    assert results[-1].compute_miss_rate < results[0].compute_miss_rate
+    # The writeback stream never caches, at any capacity.
+    for result in results:
+        assert result.writeback_miss_rate > 0.9
+
+
+def test_fig07b_content_census(benchmark, emit, config):
+    def run():
+        rows = []
+        totals = [0.0, 0.0, 0.0]
+        for key in workload_keys():
+            stream = SyntheticVideo(config.video, workload(key),
+                                    seed=BENCH_SEED,
+                                    n_frames=min(BENCH_FRAMES, 64))
+            census = content_census(stream)
+            rows.append([key, census.intra_fraction, census.inter_fraction,
+                         census.none_fraction])
+            totals[0] += census.intra_fraction / 16
+            totals[1] += census.inter_fraction / 16
+            totals[2] += census.none_fraction / 16
+        rows.append(["Avg", *totals])
+        rows.append(["paper", 0.42, 0.15, 0.43])
+        return rows, totals
+
+    rows, totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(["video", "intra", "inter", "none"], rows,
+                      title="Fig. 7b: content-similarity census"))
+    assert 0.30 < totals[0] < 0.55  # intra
+    assert 0.08 < totals[1] < 0.30  # inter
+    assert 0.30 < totals[2] < 0.55  # none
+    assert totals[0] + totals[1] > 0.45  # over half the blocks match

@@ -1,0 +1,92 @@
+"""Fig. 10 — display cache and MACH buffer.
+
+(c) display-cache size sensitivity (the paper's knee at 16 KB);
+(d) the split of block records into digest- vs pointer-indexed
+(~38 % / 62 %), with >45 % of pointer fetches fragmenting; and
+(e) the DC-side memory-access savings (~33.5 % total; the naive
+pointer layout without the two structures needs >60 % *extra* reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.config import GAB, DisplayConfig, SimulationConfig
+from .conftest import cached_run
+
+_MIX = ("V1", "V8", "V11", "V14")
+
+
+def test_fig10c_display_cache_size(benchmark, emit, config):
+    sizes = (2048, 4096, 8192, 16384, 65536)
+
+    def run():
+        rows = []
+        for size in sizes:
+            display = replace(config.display, display_cache_bytes=size)
+            cfg = SimulationConfig(display=display)
+            result = cached_run("V8", GAB, config=cfg)
+            rows.append([f"{size // 1024}KB", result.read_savings,
+                         result.read_stats.dc_hits])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(["size (native)", "DC read savings", "dc hits"], rows,
+                      title="Fig. 10c: display-cache size sensitivity "
+                            "(paper: 16KB sufficient)"))
+    savings = [row[1] for row in rows]
+    # Saturating curve: the last doubling buys little.
+    assert savings[-1] - savings[-2] < savings[-2] - savings[0] + 0.05
+    assert savings[-1] >= savings[0]
+
+
+def test_fig10d_record_split(benchmark, emit):
+    def run():
+        rows = []
+        digest_avg = frag_avg = 0.0
+        for key in _MIX:
+            result = cached_run(key, GAB)
+            stats = result.read_stats
+            rows.append([key, stats.digest_fraction,
+                         1 - stats.digest_fraction,
+                         stats.fragmentation_rate])
+            digest_avg += stats.digest_fraction / len(_MIX)
+            frag_avg += stats.fragmentation_rate / len(_MIX)
+        rows.append(["paper", 0.38, 0.62, 0.45])
+        return rows, digest_avg, frag_avg
+
+    rows, digest_avg, frag_avg = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    emit(format_table(
+        ["video", "digest-indexed", "pointer-indexed", "fragmenting"],
+        rows, title="Fig. 10d: gab record split at the DC"))
+    assert 0.25 < digest_avg < 0.55
+    assert frag_avg > 0.45
+
+
+def test_fig10e_dc_savings(benchmark, emit):
+    def run():
+        rows = []
+        savings_avg = naive_extra_avg = 0.0
+        for key in _MIX:
+            full = cached_run(key, GAB)
+            naive = cached_run(key, GAB, use_display_cache=False,
+                               use_mach_buffer=False)
+            extra = (naive.read_stats.mem_reads
+                     / naive.read_stats.raw_equivalent_lines) - 1.0
+            rows.append([key, full.read_savings, -extra])
+            savings_avg += full.read_savings / len(_MIX)
+            naive_extra_avg += extra / len(_MIX)
+        rows.append(["paper", 0.335, -0.60])
+        return rows, savings_avg, naive_extra_avg
+
+    rows, savings_avg, naive_extra = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    emit(format_table(
+        ["video", "DC savings (full)", "naive layout 'savings'"], rows,
+        title="Fig. 10e: DC memory-access savings "
+              "(paper: +33.5% full, >60% extra reads when naive)"))
+    assert savings_avg > 0.2
+    assert naive_extra > 0.3, (
+        "the pointer layout without display caching must cost extra reads")

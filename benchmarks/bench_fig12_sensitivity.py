@@ -1,0 +1,171 @@
+"""Fig. 12 — sensitivity studies and the CO-MACH extension.
+
+(a) extra frame buffers vs the number of MACHs (the retention window);
+(b) energy vs MACH-buffer entries (2 K chosen);
+(c) mab size sweep on V14 (4x4 optimal);
+(d) digest-scheme comparison (CRC32 ≈ MD5 ≈ SHA1; a weak checksum
+collides wildly) and the CO-MACH + CRC48 deep-hash fix (Sec. 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.config import GAB, MachConfig, SimulationConfig, VideoConfig
+from repro.core.gradient import to_gradient
+from repro.core.writeback import WritebackEngine
+from repro.hashing.digest import CollisionTracker, get_scheme
+from repro.video import SyntheticVideo, workload
+from .conftest import BENCH_FRAMES, BENCH_SEED, cached_run
+
+_FRAMES = min(BENCH_FRAMES, 64)
+
+
+def test_fig12a_frame_buffers_vs_machs(benchmark, emit, config):
+    counts = (2, 4, 8, 16)
+
+    def run():
+        rows = []
+        for num in counts:
+            mach = replace(config.mach, num_machs=num)
+            cfg = SimulationConfig(mach=mach)
+            result = cached_run("V8", GAB, config=cfg)
+            rows.append([num, result.peak_footprint_native_mb,
+                         result.write_savings])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["#MACHs", "peak footprint (4K MB)", "write savings"], rows,
+        title="Fig. 12a: retention cost vs number of MACHs "
+              "(paper: 8 chosen; 16 needs ~300MB)"))
+    footprints = [row[1] for row in rows]
+    assert footprints == sorted(footprints), (
+        "more MACHs must retain more frame-buffer memory")
+    # More MACHs also find more (or equal) matches.
+    assert rows[-1][2] >= rows[0][2] - 0.02
+
+
+def test_fig12b_mach_buffer_entries(benchmark, emit, config):
+    entries = (64, 256, 1024, 2048, 8192)
+
+    def run():
+        rows = []
+        for count in entries:
+            mach = replace(config.mach, buffer_entries=count)
+            cfg = SimulationConfig(mach=mach)
+            result = cached_run("V8", GAB, config=cfg)
+            stats = result.read_stats
+            rows.append([count, stats.mb_hits
+                         / max(stats.mb_hits + stats.mb_misses, 1),
+                         result.read_savings])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["entries (native)", "buffer hit rate", "DC savings"], rows,
+        title="Fig. 12b: MACH-buffer entry sweep (paper picks 2K)"))
+    hit_rates = [row[1] for row in rows]
+    assert hit_rates[-1] >= hit_rates[0]
+
+
+def test_fig12c_mab_size(benchmark, emit):
+    """Content similarity lives at a fixed spatial scale, so the MACH
+    block size is swept against the *same* pixel stream: tiny blocks
+    drown in per-block metadata, huge blocks rarely match exactly."""
+    from repro.video import join_blocks, split_blocks
+    from repro.video.frame import DecodedFrame
+
+    sizes = (2, 4, 8)
+
+    def run():
+        base_video = VideoConfig(width=192, height=120, block_size=4)
+        frames = list(SyntheticVideo(base_video, workload("V14"),
+                                     seed=BENCH_SEED, n_frames=32))
+        rows = []
+        for block in sizes:
+            video = VideoConfig(width=192, height=120, block_size=block)
+            mach = SimulationConfig().mach.scaled_for(video)
+            engine = WritebackEngine(video, mach, GAB)
+            written = raw = 0
+            for frame in frames:
+                image = join_blocks(frame.blocks, base_video.width,
+                                    base_video.height, 4)
+                reblocked = DecodedFrame(
+                    index=frame.index, frame_type=frame.frame_type,
+                    blocks=split_blocks(image, block),
+                    complexity=frame.complexity,
+                    encoded_bits=frame.encoded_bits)
+                result = engine.process_frame(reblocked,
+                                              frame.index << 20)
+                written += result.bytes_written
+                raw += result.layout.raw_bytes
+            rows.append([f"{block}x{block}", 1.0 - written / raw])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(["mab size", "write savings"], rows,
+                      title="Fig. 12c: mab-size sweep on V14 "
+                            "(paper: 4x4 optimal)"))
+    best = max(rows, key=lambda row: row[1])
+    assert best[0] == "4x4", f"expected 4x4 optimal, got {best[0]}"
+
+
+def test_fig12d_hash_comparison(benchmark, emit, config):
+    schemes = ("crc32", "md5", "sha1", "weak-sum")
+
+    def run():
+        stream = list(SyntheticVideo(config.video, workload("V14"),
+                                     seed=BENCH_SEED, n_frames=24))
+        rows = []
+        for name in schemes:
+            scheme = get_scheme(name)
+            tracker = CollisionTracker()
+            for frame in stream:
+                gabs, _ = to_gradient(frame.blocks)
+                tracker.observe_frame(scheme.digest_blocks(gabs), gabs)
+            rows.append([name, tracker.collisions, tracker.lookups,
+                         tracker.collision_rate])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(["digest", "collisions", "blocks", "rate"], rows,
+                      title="Fig. 12d: digest collision comparison "
+                            "(paper: ~1 block per 200 frames for CRC32)"))
+    by_name = {row[0]: row for row in rows}
+    for good in ("crc32", "md5", "sha1"):
+        assert by_name[good][3] < 1e-3, f"{good} must be near-collision-free"
+    assert by_name["weak-sum"][1] > by_name["crc32"][1], (
+        "the weak checksum must collide more")
+
+
+def test_sec63_co_mach(benchmark, emit, config):
+    """CO-MACH detects CRC32 collisions and serves them correctly."""
+
+    def run():
+        video = config.video
+        results = {}
+        for co_mach in (False, True):
+            mach = replace(config.mach, co_mach=co_mach).scaled_for(video)
+            engine = WritebackEngine(video, mach, GAB)
+            stream = SyntheticVideo(video, workload("V8"),
+                                    seed=BENCH_SEED, n_frames=24)
+            for frame in stream:
+                engine.process_frame(frame, frame.index << 20)
+            stats = engine.stats
+            results[co_mach] = (stats.silent_collisions,
+                                stats.detected_collisions)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [["plain CRC32", results[False][0], results[False][1]],
+            ["CO-MACH + CRC48", results[True][0], results[True][1]]]
+    emit(format_table(["configuration", "silent collisions", "detected"],
+                      rows,
+                      title="Sec. 6.3: CO-MACH deep hashing "
+                            "(paper: collisions to practically zero)"))
+    # With CO-MACH no collision goes unnoticed.
+    assert results[True][0] == 0

@@ -1,0 +1,55 @@
+"""Table 2 — the simulation configuration.
+
+Prints the platform parameters the simulator runs with and asserts the
+paper-specified ones are intact.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.memory import peak_bandwidth
+from .conftest import cached_run
+from repro.config import BASELINE
+
+
+def test_table2_configuration(benchmark, emit, config):
+    def run():
+        # A short run proves the configuration actually simulates.
+        result = cached_run("V1", BASELINE, n_frames=16)
+        return result.n_frames
+
+    frames = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert frames == 16
+
+    dram, decoder, display, mach = (config.dram, config.decoder,
+                                    config.display, config.mach)
+    rows = [
+        ["DRAM", f"{dram.channels} channels x {dram.ranks_per_channel} rank "
+                 f"x {dram.banks_per_rank} banks, "
+                 f"{peak_bandwidth(dram) / 1e9:.1f} GB/s"],
+        ["DRAM timing", f"tCL/tRP/tRCD = {dram.t_cl * 1e9:.0f}/"
+                        f"{dram.t_rp * 1e9:.0f}/{dram.t_rcd * 1e9:.0f} ns, "
+                        f"{dram.io_freq / 1e6:.0f} MHz, RoRaBaCoCh"],
+        ["VD", f"{decoder.low_freq_power:.2f}W@"
+               f"{decoder.low_freq / 1e6:.0f}MHz; "
+               f"{decoder.high_freq_power:.2f}W@"
+               f"{decoder.high_freq / 1e6:.0f}MHz"],
+        ["Display", f"3840x2160@{display.refresh_hz:.0f}Hz, "
+                    f"{display.power:.2f}W"],
+        ["MACH", f"{mach.num_machs} MACHs x {mach.entries_per_mach} "
+                 f"entries, {mach.ways}-way; "
+                 f"total {mach.total_entries} entries"],
+        ["MACH buffer", f"{mach.buffer_entries} entries"],
+        ["Display cache", f"{display.display_cache_bytes // 1024}KB "
+                          f"direct-mapped"],
+    ]
+    emit(format_table(["parameter", "value"], rows,
+                      title="Table 2: simulation configuration"))
+    # Paper-specified values.
+    assert decoder.low_freq_power == 0.30
+    assert decoder.high_freq_power == 0.69
+    assert dram.channels == 2 and dram.banks_per_rank == 8
+    assert mach.num_machs == 8 and mach.entries_per_mach == 256
+    assert mach.total_entries == 2048
+    assert display.display_cache_bytes == 16 * 1024
+    assert display.power == 0.12

@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or
+figures: it runs the relevant simulation under ``pytest-benchmark`` and
+prints the same rows/series the paper reports (capture is released so
+the tables land in the bench log).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+``BENCH_FRAMES`` bounds the per-video frame count so the full suite
+finishes in minutes; raise it for higher-fidelity numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Tuple
+
+import pytest
+
+from repro import simulate, workload
+from repro.config import SchemeConfig, SimulationConfig
+from repro.core.results import RunResult
+from repro.video import workload_keys
+
+#: Frames simulated per (video, scheme) in benchmark runs.
+BENCH_FRAMES = int(os.environ.get("BENCH_FRAMES", "96"))
+
+#: Seed used by every benchmark (results are deterministic).
+BENCH_SEED = 7
+
+_RESULT_CACHE: Dict[Tuple, RunResult] = {}
+
+
+def cached_run(video_key: str, scheme: SchemeConfig,
+               n_frames: int = None, **kwargs) -> RunResult:
+    """Memoized simulate() so benches can share each other's runs."""
+    frames = n_frames if n_frames is not None else BENCH_FRAMES
+    key = (video_key, scheme.name, frames, tuple(sorted(kwargs.items())))
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = simulate(
+            workload(video_key), scheme, n_frames=frames, seed=BENCH_SEED,
+            **kwargs)
+    return _RESULT_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def config() -> SimulationConfig:
+    return SimulationConfig()
+
+
+@pytest.fixture(scope="session")
+def all_videos() -> Tuple[str, ...]:
+    return workload_keys()
+
+
+@pytest.fixture
+def emit(capsys) -> Callable[[str], None]:
+    """Print a report table through pytest's capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _emit

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""From pixels to energy: run *real decoded frames* through the recipe.
+
+The other examples use the synthetic content generator; this one walks
+the full adoption path for actual pixel data:
+
+1. render a procedural animation (a moving scene with flat UI panels);
+2. compress and decompress it with the package's block codec — the
+   decoded frames now carry genuine quantization noise and motion;
+3. capture the decoder's output as a FrameTrace (saved to disk, the
+   interchange format for externally decoded content);
+4. replay the trace through the playback pipeline under the baseline
+   and GAB, and through the Sec. 6.4 recording pipeline.
+
+Run:  python examples/codec_trace_analysis.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import BASELINE, GAB, simulate
+from repro.analysis import content_census, format_table
+from repro.core.pipelines import RecordingPipeline
+from repro.video.codec import Decoder, Encoder
+from repro.video.trace import FrameTrace
+
+WIDTH, HEIGHT, N_FRAMES = 192, 112, 48
+
+
+def render_animation() -> list:
+    """A luma animation: drifting gradient sky + static UI panels."""
+    frames = []
+    y, x = np.mgrid[0:HEIGHT, 0:WIDTH]
+    for t in range(N_FRAMES):
+        sky = ((x * 1.5 + y + t * 4) % 256).astype(np.uint8)
+        frame = sky.copy()
+        frame[8:40, 8:72] = 40  # a flat HUD panel
+        frame[80:104, 120:184] = 200  # another panel
+        blob_x = 30 + t * 2
+        frame[50:66, blob_x:blob_x + 16] = 128  # a moving sprite
+        frames.append(frame)
+    return frames
+
+
+def main() -> None:
+    print("1. rendering a procedural animation "
+          f"({WIDTH}x{HEIGHT}, {N_FRAMES} frames)")
+    animation = render_animation()
+
+    print("2. encoding + decoding with the block codec (quality 70)")
+    encoder, decoder = Encoder(quality=70, gop_length=12), Decoder()
+    decoded = []
+    total_bits = 0
+    for image in animation:
+        encoded = encoder.encode_frame(image)
+        total_bits += encoded.bits
+        decoded.append(decoder.decode_frame(encoded.data))
+    kbps = total_bits / (N_FRAMES / 60) / 1000
+    print(f"   bitstream: {total_bits // 8} bytes ({kbps:.0f} kbit/s at "
+          f"60 fps)")
+
+    print("3. capturing the decoder output as a FrameTrace")
+    rgb = [np.repeat(image[:, :, None], 3, axis=2) for image in decoded]
+    trace = FrameTrace.from_images(rgb, block_size=4)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "animation.npz"
+        trace.save(path)
+        reloaded = FrameTrace.load(path)
+        print(f"   saved + reloaded {path.stat().st_size // 1024} KB, "
+              f"{len(reloaded)} frames")
+
+    census = content_census(list(trace))
+    print(f"   census: {census.intra_fraction:.0%} intra / "
+          f"{census.inter_fraction:.0%} inter / "
+          f"{census.none_fraction:.0%} none")
+
+    print("4. replaying through the playback and recording pipelines\n")
+    base = simulate(trace, BASELINE, seed=1)
+    gab = simulate(trace, GAB, seed=1)
+    recording = RecordingPipeline().run(trace.frames())
+    rows = [
+        ["playback energy (GAB vs baseline)",
+         1 - gab.energy.total / base.energy.total],
+        ["frame-buffer write savings", gab.write_savings],
+        ["display read savings", gab.read_savings],
+        ["recording-pipeline traffic savings", recording.total_savings],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title="Results on codec-decoded content"))
+    print("\n=> The UI panels and the drifting gradient are exactly the "
+          "structures gab digests capture, even after real quantization "
+          "noise from the codec.")
+
+
+if __name__ == "__main__":
+    main()

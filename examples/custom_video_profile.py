@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Bring your own content: profile a custom video and predict savings.
+
+Defines two synthetic profiles the paper never measured — a slideshow
+(near-static, huge flat regions) and a sports broadcast (fast pans,
+heavy grain) — then runs the content census and the full GAB pipeline
+on each to predict how well the paper's recipe would transfer.
+
+Run:  python examples/custom_video_profile.py
+"""
+
+from __future__ import annotations
+
+from repro import BASELINE, GAB, MAB, SimulationConfig, simulate
+from repro.analysis import content_census, format_table
+from repro.video import SyntheticVideo, VideoProfile
+
+SLIDESHOW = VideoProfile(
+    key="X1", name="Slideshow", description="Photo slideshow with cuts",
+    n_frames=600,
+    f_common=0.62, f_unique=0.18, f_flat=0.55, p_offset=0.25,
+    flat_palette=3, common_pool=16, p_update=0.01, scene_len=180,
+    complexity_mean=0.85,
+)
+
+SPORTS = VideoProfile(
+    key="X2", name="Sports", description="Fast pans, crowd grain",
+    n_frames=600,
+    f_common=0.30, f_unique=0.05, f_flat=0.12, p_offset=0.55,
+    flat_palette=12, common_pool=48, p_update=0.30, scene_len=35,
+    complexity_mean=1.10,
+)
+
+FRAMES = 150
+
+
+def main() -> None:
+    config = SimulationConfig()
+    rows = []
+    for profile in (SLIDESHOW, SPORTS):
+        stream = list(SyntheticVideo(config.video, profile, seed=11,
+                                     n_frames=FRAMES))
+        census = content_census(stream)
+        gab_census = content_census(stream, use_gradient=True)
+        base = simulate(profile, BASELINE, n_frames=FRAMES, seed=11)
+        mab = simulate(profile, MAB, n_frames=FRAMES, seed=11)
+        gab = simulate(profile, GAB, n_frames=FRAMES, seed=11)
+        rows.append([
+            profile.name,
+            census.match_fraction,
+            gab_census.match_fraction,
+            mab.energy.total / base.energy.total,
+            gab.energy.total / base.energy.total,
+            gab.write_savings,
+        ])
+    print(format_table(
+        ["content", "mab census", "gab census", "MAB energy",
+         "GAB energy", "gab write savings"],
+        rows, title="Custom profiles under the paper's recipe"))
+
+    slideshow, sports = rows
+    print(f"\n=> The slideshow's flat, static content plays to MACH's "
+          f"strengths ({1 - slideshow[4]:.1%} energy saving); the "
+          f"grainy sports feed mostly defeats content caching "
+          f"({1 - sports[4]:.1%}), leaving Race-to-Sleep to do the "
+          f"work — exactly the content-dependence the paper's V1-vs-V3 "
+          f"spread shows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""A realistic viewing session: what does the recipe buy a handheld?
+
+Simulates a session a real viewer might have — a test pattern, a movie
+trailer (paused halfway through to read a message), then a seek into a
+game capture — under every Fig. 11 scheme, and translates the energy
+into battery impact for a phone-sized cell. Pauses and seeks matter:
+during a pause the decoder sleeps deep while the display keeps
+re-scanning the frozen frame, and a seek flushes the streaming buffer
+and stalls until the pre-roll refills.
+
+Run:  python examples/streaming_session.py
+"""
+
+from __future__ import annotations
+
+from repro import FIG11_SCHEMES, Pause, Play, simulate_session, workload
+from repro.analysis import bar_chart, format_table
+
+#: A typical handheld battery: 3000 mAh at 3.85 V nominal.
+BATTERY_JOULES = 3.0 * 3.85 * 3600
+
+FRAMES_PER_CLIP = 150
+
+SESSION = [
+    Play(workload("V1"), FRAMES_PER_CLIP),  # test card
+    Play(workload("V6"), FRAMES_PER_CLIP // 2),  # trailer...
+    Pause(8.0),  # ...paused to read a message
+    Play(workload("V6"), FRAMES_PER_CLIP // 2),  # ...resumed
+    Play(workload("V15"), FRAMES_PER_CLIP, seek=True),  # seek into a game
+]
+
+
+def main() -> None:
+    print("Session: V1 -> V6 (pause mid-clip) -> seek -> V15, "
+          f"{FRAMES_PER_CLIP} frames per clip at 60 fps\n")
+
+    rows = []
+    normalized = []
+    names = []
+    base_energy = None
+    for scheme in FIG11_SCHEMES:
+        result = simulate_session(SESSION, scheme, seed=0)
+        if base_energy is None:
+            base_energy = result.total_energy
+        power = result.average_power
+        two_hours = power * 7200
+        rows.append([
+            scheme.name,
+            result.total_energy / base_energy,
+            result.playback_energy,
+            result.pause_energy + result.rebuffer_energy,
+            result.stall_seconds,
+            result.drops,
+            two_hours / BATTERY_JOULES,
+        ])
+        names.append(scheme.name)
+        normalized.append(result.total_energy / base_energy)
+    print(format_table(
+        ["scheme", "normalized", "playback J", "idle J", "stall s",
+         "drops", "battery/2h"],
+        rows, title="Session totals (video subsystem only)"))
+
+    print("\nNormalized session energy (| marks the baseline):")
+    print(bar_chart(names, normalized, width=46, reference=1.0))
+
+    base_row, gab_row = rows[0], rows[-1]
+    print(f"\n=> Two hours of this usage costs {base_row[6]:.1%} of the "
+          f"battery on the baseline pipeline and {gab_row[6]:.1%} with "
+          f"the full recipe, while drops go {base_row[5]} -> "
+          f"{gab_row[5]}. Pause/rebuffer energy is scheme-independent "
+          f"— the recipe attacks the playback part.")
+
+
+if __name__ == "__main__":
+    main()

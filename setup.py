@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed editable in offline environments that lack the
+``wheel`` package required by PEP 660 builds.
+"""
+
+from setuptools import setup
+
+setup()

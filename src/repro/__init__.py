@@ -1,0 +1,100 @@
+"""repro — reproduction of "Race-To-Sleep + Content Caching + Display
+Caching: A Recipe for Energy-efficient Video Streaming on Handhelds"
+(Zhang et al., MICRO-50, 2017).
+
+The package simulates the paper's end-to-end video-processing pipeline
+on a handheld SoC — hardware video decoder, LPDDR3 memory, and display
+controller — and implements its three techniques:
+
+* **Race-to-Sleep** (frame batching + frequency boosting),
+* **MACH content caching** (digest-tagged macroblock reuse), and
+* **display caching** (display cache + MACH buffer at the DC),
+
+plus the baselines they are compared against.  See DESIGN.md for the
+full system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import simulate, workload, GAB, BASELINE
+
+    result = simulate(workload("V8"), GAB, n_frames=240)
+    base = simulate(workload("V8"), BASELINE, n_frames=240)
+    print(f"energy saving: {1 - result.energy.total / base.energy.total:.1%}")
+"""
+
+from .config import (
+    BASELINE,
+    BATCHING,
+    DCC_ONLY,
+    FIG11_SCHEMES,
+    GAB,
+    GAB_DCC,
+    MAB,
+    RACE_TO_SLEEP,
+    RACING,
+    MachConfig,
+    SchemeConfig,
+    SimulationConfig,
+    VideoConfig,
+)
+from .video import PAPER_WORKLOADS, SyntheticVideo, VideoProfile, workload
+
+_CORE_EXPORTS = {
+    "simulate": ("core.pipeline", "simulate"),
+    "RunResult": ("core.results", "RunResult"),
+    "SchemeComparison": ("core.results", "SchemeComparison"),
+    "compare_schemes": ("core.results", "compare_schemes"),
+    "FrameTrace": ("video.trace", "FrameTrace"),
+    "RecordingPipeline": ("core.pipelines", "RecordingPipeline"),
+    "RenderPipeline": ("core.pipelines", "RenderPipeline"),
+    "simulate_slack_dvfs": ("core.related_work", "simulate_slack_dvfs"),
+    "Play": ("core.session", "Play"),
+    "Pause": ("core.session", "Pause"),
+    "SessionResult": ("core.session", "SessionResult"),
+    "simulate_session": ("core.session", "simulate_session"),
+    "run_matrix": ("runner", "run_matrix"),
+    "normalized_matrix": ("runner", "normalized_matrix"),
+    "validate_against_paper": ("validation", "validate_against_paper"),
+}
+
+
+def __getattr__(name):
+    """Defer core imports so substrate subpackages stay importable alone."""
+    if name in _CORE_EXPORTS:
+        import importlib
+
+        module_name, attribute = _CORE_EXPORTS[name]
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, attribute)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE",
+    "BATCHING",
+    "DCC_ONLY",
+    "FIG11_SCHEMES",
+    "GAB",
+    "GAB_DCC",
+    "MAB",
+    "RACE_TO_SLEEP",
+    "RACING",
+    "MachConfig",
+    "SchemeConfig",
+    "SimulationConfig",
+    "VideoConfig",
+    "simulate",
+    "RunResult",
+    "SchemeComparison",
+    "compare_schemes",
+    "FrameTrace",
+    "RecordingPipeline",
+    "RenderPipeline",
+    "simulate_slack_dvfs",
+    "PAPER_WORKLOADS",
+    "SyntheticVideo",
+    "VideoProfile",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analysis utilities: CDFs, region classification, content census, and
+text reports backing the paper's figures."""
+
+from .ascii_plot import bar_chart, sparkline, stacked_area
+from .cdf import StackedCdf, stacked_time_cdf, stacked_energy_cdf
+from .sweep import get_config_field, set_config_field, sweep_config
+from .census import CensusResult, content_census
+from .regions import Region, classify_frames, region_mix
+from .tables import format_table
+from .report import comparison_report
+
+__all__ = [
+    "bar_chart",
+    "sparkline",
+    "stacked_area",
+    "get_config_field",
+    "set_config_field",
+    "sweep_config",
+    "StackedCdf",
+    "stacked_time_cdf",
+    "stacked_energy_cdf",
+    "CensusResult",
+    "content_census",
+    "Region",
+    "classify_frames",
+    "region_mix",
+    "format_table",
+    "comparison_report",
+]

@@ -1,0 +1,86 @@
+"""Terminal plotting: sparklines and stacked-area charts.
+
+The benchmark harness and the examples render the paper's figures as
+text; these helpers keep that rendering consistent without pulling in
+a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float = None,
+              hi: float = None) -> str:
+    """One-line sparkline of a series."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if len(data) == 0:
+        return ""
+    low = float(data.min()) if lo is None else lo
+    high = float(data.max()) if hi is None else hi
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[4] * len(data)
+    levels = np.clip(((data - low) / span * 8).round(), 0, 8).astype(int)
+    return "".join(_SPARK_LEVELS[level] for level in levels)
+
+
+def stacked_area(series: Dict[str, Sequence[float]], width: int = 64,
+                 height: int = 12) -> str:
+    """A character stacked-area chart of fraction series.
+
+    Each input series gives per-x fractions in [0, 1] that sum to ~1
+    across series (like the paper's stacked CDFs).  Each series is
+    painted with the first letter of its name, bottom-up in insertion
+    order.
+    """
+    names = list(series)
+    if not names:
+        return ""
+    arrays = [np.asarray(list(series[name]), dtype=np.float64)
+              for name in names]
+    n = len(arrays[0])
+    if any(len(a) != n for a in arrays) or n == 0:
+        raise ValueError("series must be equal-length and non-empty")
+    # Resample to the chart width.
+    xs = np.linspace(0, n - 1, width).round().astype(int)
+    columns = np.stack([a[xs] for a in arrays])  # (series, width)
+    cumulative = np.cumsum(columns, axis=0)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for col in range(width):
+        previous = 0
+        for index, name in enumerate(names):
+            top = int(round(cumulative[index, col] * height))
+            for row in range(previous, min(top, height)):
+                grid[height - 1 - row][col] = name[0].lower()
+            previous = max(previous, top)
+    lines = ["".join(row) for row in grid]
+    legend = "  ".join(f"{name[0].lower()}={name}" for name in names)
+    return "\n".join(lines + [legend])
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, reference: float = None) -> str:
+    """Horizontal bars, with an optional reference tick (e.g. 1.0)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return ""
+    peak = max(max(values), reference or 0.0)
+    lines = []
+    label_width = max(len(label) for label in labels)
+    for label, value in zip(labels, values):
+        bar_len = int(round(value / peak * width)) if peak else 0
+        bar = "#" * bar_len
+        if reference is not None and peak:
+            tick = int(round(reference / peak * width))
+            if tick >= len(bar):
+                bar = bar.ljust(tick) + "|"
+            else:
+                bar = bar[:tick] + "|" + bar[tick + 1:]
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Stacked per-frame CDFs (paper Figs. 2b-2e and 4).
+
+The paper sorts frames by decode time (or energy) and plots, for each
+frame, how its fixed 16.6 ms budget (or 5 mJ energy budget) splits
+across execution, short slack, transitions, S1, and S3.  This module
+computes those stacked series from a run's :class:`FrameTimeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..core.results import FrameTimeline
+
+_STATES = ("execution", "short_slack", "transition", "s1", "s3")
+
+
+@dataclass(frozen=True)
+class StackedCdf:
+    """Per-frame stacked series, frames sorted by the sort key."""
+
+    fractions: Dict[str, np.ndarray]  # state -> per-frame fraction
+    sort_key: np.ndarray  # the sorted decode times (or energies)
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.sort_key)
+
+    def mean_fraction(self, state: str) -> float:
+        """Average share of the budget spent in ``state``."""
+        values = self.fractions[state]
+        return float(values.mean()) if len(values) else 0.0
+
+    def series(self, state: str) -> np.ndarray:
+        return self.fractions[state]
+
+
+def _stack(parts: Dict[str, np.ndarray], order: np.ndarray,
+           key: np.ndarray) -> StackedCdf:
+    total = sum(parts.values())
+    # Guard against zero-length frames (should not happen in practice).
+    total = np.where(total <= 0, 1.0, total)
+    fractions = {
+        name: (values / total)[order] for name, values in parts.items()
+    }
+    return StackedCdf(fractions=fractions, sort_key=key[order])
+
+
+def stacked_time_cdf(timeline: FrameTimeline) -> StackedCdf:
+    """Fig. 2b/2d: per-frame time split, sorted by decode time."""
+    parts = {
+        "execution": timeline.decode_time,
+        "short_slack": timeline.idle_time,
+        "transition": timeline.transition_time,
+        "s1": timeline.s1_time,
+        "s3": timeline.s3_time,
+    }
+    order = np.argsort(timeline.decode_time, kind="stable")
+    return _stack(parts, order, timeline.decode_time)
+
+
+def stacked_energy_cdf(timeline: FrameTimeline) -> StackedCdf:
+    """Fig. 2c/2e: per-frame energy split, sorted by frame energy."""
+    parts = {
+        "execution": timeline.exec_energy,
+        "short_slack": timeline.idle_energy,
+        "transition": timeline.transition_energy,
+        "s1": timeline.s1_energy,
+        "s3": timeline.s3_energy,
+    }
+    totals = timeline.total_energy
+    order = np.argsort(totals, kind="stable")
+    return _stack(parts, order, totals)

@@ -1,0 +1,54 @@
+"""Frame region classification (paper Fig. 2b).
+
+Frames are bucketed by their decode-time slack against the 16.6 ms
+deadline:
+
+* **Region I** — dropped: decode exceeded the deadline;
+* **Region II** — met the deadline but the slack is too short for any
+  sleep state to break even;
+* **Region III** — slack funds S1 but not S3;
+* **Region IV** — slack funds deep sleep (S3).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+import numpy as np
+
+from ..config import PowerStateConfig
+
+
+class Region(Enum):
+    I = "I"  # noqa: E741 - the paper's region names
+    II = "II"
+    III = "III"
+    IV = "IV"
+
+
+def classify_frames(decode_times: np.ndarray, deadline: float,
+                    power: PowerStateConfig) -> np.ndarray:
+    """Region of each frame, as an array of :class:`Region`."""
+    decode_times = np.asarray(decode_times, dtype=np.float64)
+    slack = deadline - decode_times
+    s1 = power.sleep_breakeven("S1")
+    s3 = power.sleep_breakeven("S3")
+    out = np.empty(len(decode_times), dtype=object)
+    out[slack < 0] = Region.I
+    out[(slack >= 0) & (slack < s1)] = Region.II
+    out[(slack >= s1) & (slack < s3)] = Region.III
+    out[slack >= s3] = Region.IV
+    return out
+
+
+def region_mix(decode_times: np.ndarray, deadline: float,
+               power: PowerStateConfig) -> Dict[Region, float]:
+    """Fraction of frames in each region."""
+    regions = classify_frames(decode_times, deadline, power)
+    n = len(regions)
+    if n == 0:
+        return {region: 0.0 for region in Region}
+    return {
+        region: float((regions == region).sum()) / n for region in Region
+    }

@@ -1,0 +1,75 @@
+"""Parameter sweeps over nested simulation configuration.
+
+Sensitivity studies (Fig. 12 and beyond) all share a shape: vary one
+deeply nested configuration field, re-run, collect a metric.  This
+helper does the plumbing — dotted-path access into the frozen
+dataclass tree with ``dataclasses.replace`` rebuilding the chain — so a
+sweep is one call:
+
+    sweep = sweep_config(
+        SimulationConfig(), "mach.num_machs", [2, 4, 8, 16],
+        lambda cfg, value: simulate(workload("V8"), GAB, n_frames=96,
+                                    config=cfg).write_savings)
+"""
+
+from __future__ import annotations
+
+from dataclasses import is_dataclass, replace
+from typing import Any, Callable, List, Sequence, Tuple
+
+from ..errors import ConfigError
+
+
+def set_config_field(config: Any, path: str, value: Any) -> Any:
+    """Return a copy of a frozen dataclass tree with ``path`` replaced.
+
+    ``path`` is a dotted field path, e.g. ``"dram.act_pre_energy"`` or
+    ``"mach.num_machs"``; every segment except the last must name a
+    dataclass field holding another dataclass.
+    """
+    parts = path.split(".")
+    if not all(parts):
+        raise ConfigError(f"malformed config path {path!r}")
+
+    def rebuild(node: Any, remaining: List[str]) -> Any:
+        if not is_dataclass(node):
+            raise ConfigError(
+                f"path {path!r} descends into non-dataclass "
+                f"{type(node).__name__}")
+        name = remaining[0]
+        if not hasattr(node, name):
+            raise ConfigError(
+                f"{type(node).__name__} has no field {name!r} "
+                f"(path {path!r})")
+        if len(remaining) == 1:
+            return replace(node, **{name: value})
+        child = rebuild(getattr(node, name), remaining[1:])
+        return replace(node, **{name: child})
+
+    return rebuild(config, parts)
+
+
+def get_config_field(config: Any, path: str) -> Any:
+    """Read a dotted field path from a dataclass tree."""
+    node = config
+    for name in path.split("."):
+        if not hasattr(node, name):
+            raise ConfigError(
+                f"{type(node).__name__} has no field {name!r} "
+                f"(path {path!r})")
+        node = getattr(node, name)
+    return node
+
+
+def sweep_config(
+    config: Any,
+    path: str,
+    values: Sequence[Any],
+    metric: Callable[[Any, Any], Any],
+) -> List[Tuple[Any, Any]]:
+    """Evaluate ``metric(config_with_value, value)`` for each value."""
+    results = []
+    for value in values:
+        varied = set_config_field(config, path, value)
+        results.append((value, metric(varied, value)))
+    return results

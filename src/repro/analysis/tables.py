@@ -1,0 +1,48 @@
+"""Fixed-width text tables for benchmark output.
+
+Every benchmark prints the rows/series its paper figure reports; this
+keeps the rendering consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(value: Cell, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 precision: int = 3, title: str = "") -> str:
+    """Render an aligned text table (right-aligned numeric columns)."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    numeric: List[bool] = [True] * len(headers)
+    for row in rows:
+        cells = [_render(cell, precision) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            if isinstance(cell, str):
+                numeric[i] = False
+        rendered.append(cells)
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, cells in enumerate(rendered):
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i]
+                         else cell.ljust(widths[i]))
+        lines.append("  ".join(parts).rstrip())
+        if row_index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

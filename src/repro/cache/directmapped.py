@@ -1,0 +1,52 @@
+"""Direct-mapped cache, used for the paper's 16 KB display cache.
+
+The display cache is indexed "by any pointer" (Sec. 5.1): the key is a
+line-aligned memory address, the value is the 64-byte line.  We store
+the line address as the tag and let the caller keep data elsewhere —
+the simulator only needs hit/miss behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import CacheError
+from .base import AccessResult, CacheStats
+
+
+class DirectMappedCache:
+    """A direct-mapped cache of ``lines`` entries keyed by line index."""
+
+    def __init__(self, lines: int) -> None:
+        if lines <= 0 or lines & (lines - 1):
+            raise CacheError(f"line count must be a positive power of two: {lines}")
+        self.lines = lines
+        self._mask = lines - 1
+        self._tags: List[Optional[int]] = [None] * lines
+        self.stats = CacheStats()
+
+    @classmethod
+    def from_bytes(cls, capacity_bytes: int, line_bytes: int) -> "DirectMappedCache":
+        """Build from a capacity (e.g. 16 KiB of 64-byte lines)."""
+        if capacity_bytes % line_bytes:
+            raise CacheError("capacity must be a whole number of lines")
+        return cls(capacity_bytes // line_bytes)
+
+    def access(self, line_key: int) -> AccessResult:
+        """Probe ``line_key`` (a line-granular address); fill on miss."""
+        slot = line_key & self._mask
+        if self._tags[slot] == line_key:
+            self.stats.record(AccessResult.HIT)
+            return AccessResult.HIT
+        if self._tags[slot] is not None:
+            self.stats.evictions += 1
+        self._tags[slot] = line_key
+        self.stats.insertions += 1
+        self.stats.record(AccessResult.MISS)
+        return AccessResult.MISS
+
+    def __contains__(self, line_key: int) -> bool:
+        return self._tags[line_key & self._mask] == line_key
+
+    def clear(self) -> None:
+        self._tags = [None] * self.lines

@@ -1,0 +1,97 @@
+"""Replacement policies for the set-associative cache model.
+
+Each policy manages the recency/ordering metadata of a single cache
+set.  The cache calls :meth:`on_hit`, :meth:`on_insert`, and
+:meth:`victim`; policies never see tags, only way indices, so the same
+implementations serve the VD cache, MACH, and the MACH buffer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Protocol
+
+from ..errors import CacheError
+
+
+class ReplacementPolicy(Protocol):
+    """Per-set replacement metadata."""
+
+    def on_hit(self, way: int) -> None:
+        """An existing line in ``way`` was accessed."""
+
+    def on_insert(self, way: int) -> None:
+        """A new line was installed in ``way``."""
+
+    def victim(self, occupied: List[bool]) -> int:
+        """Choose the way to evict (all ways occupied)."""
+
+
+class LruPolicy:
+    """Least-recently-used, tracked as an explicit recency list.
+
+    The list orders way indices from most- to least-recently used.
+    """
+
+    def __init__(self, ways: int) -> None:
+        self._order: List[int] = []
+        self._ways = ways
+
+    def on_hit(self, way: int) -> None:
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+    def on_insert(self, way: int) -> None:
+        if way in self._order:
+            self._order.remove(way)
+        self._order.insert(0, way)
+
+    def victim(self, occupied: List[bool]) -> int:
+        return self._order[-1]
+
+
+class FifoPolicy:
+    """First-in-first-out: eviction order equals insertion order."""
+
+    def __init__(self, ways: int) -> None:
+        self._queue: List[int] = []
+        self._ways = ways
+
+    def on_hit(self, way: int) -> None:
+        pass  # hits do not affect FIFO ordering
+
+    def on_insert(self, way: int) -> None:
+        if way in self._queue:
+            self._queue.remove(way)
+        self._queue.append(way)
+
+    def victim(self, occupied: List[bool]) -> int:
+        return self._queue[0]
+
+
+class RandomPolicy:
+    """Uniform random eviction with a private, seeded RNG."""
+
+    def __init__(self, ways: int, seed: int = 0) -> None:
+        self._ways = ways
+        self._rng = random.Random(seed)
+
+    def on_hit(self, way: int) -> None:
+        pass
+
+    def on_insert(self, way: int) -> None:
+        pass
+
+    def victim(self, occupied: List[bool]) -> int:
+        return self._rng.randrange(self._ways)
+
+
+def make_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name ('lru'/'fifo'/'random')."""
+    if name == "lru":
+        return LruPolicy(ways)
+    if name == "fifo":
+        return FifoPolicy(ways)
+    if name == "random":
+        return RandomPolicy(ways, seed=seed)
+    raise CacheError(f"unknown replacement policy: {name!r}")

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Subcommands:
+
+* ``run`` — simulate one video under one scheme and print the result;
+* ``compare`` — run the Fig. 11 scheme comparison for selected videos;
+* ``census`` — run the Fig. 7b content census;
+* ``workloads`` — list the Table-1 video profiles;
+* ``trace`` — capture a synthetic stream to a ``.npz`` trace, or run a
+  saved trace (from any source) through a scheme.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import comparison_report, content_census, format_table
+from .config import (
+    BASELINE,
+    BATCHING,
+    FIG11_SCHEMES,
+    GAB,
+    MAB,
+    RACE_TO_SLEEP,
+    RACING,
+    SimulationConfig,
+)
+from .core.pipeline import simulate
+from .core.results import compare_schemes
+from .video import PAPER_WORKLOADS, SyntheticVideo, workload
+
+_SCHEMES = {s.name.lower(): s for s in
+            (BASELINE, BATCHING, RACING, RACE_TO_SLEEP, MAB, GAB)}
+_SCHEMES["rts"] = RACE_TO_SLEEP
+
+
+def _parse_videos(spec: str) -> List[str]:
+    if spec.lower() == "all":
+        return [p.key for p in PAPER_WORKLOADS]
+    return [key.strip().upper() for key in spec.split(",") if key.strip()]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scheme = _SCHEMES[args.scheme.lower()]
+    result = simulate(workload(args.video), scheme, n_frames=args.frames,
+                      seed=args.seed)
+    print(f"{args.video} under {scheme.name}: "
+          f"{result.energy.per_frame_mj(result.n_frames):.2f} mJ/frame, "
+          f"{result.drops} drops, "
+          f"S3 residency {result.deep_sleep_residency:.1%}")
+    rows = [[name, value * 1e3, value / result.energy.total]
+            for name, value in result.energy.as_dict().items()]
+    print(format_table(["component", "mJ", "fraction"], rows,
+                       title="\nEnergy breakdown"))
+    if result.matches is not None:
+        m = result.matches
+        print(f"\nMACH: intra {m.intra / m.total:.1%}, "
+              f"inter {m.inter / m.total:.1%}, "
+              f"write savings {result.write_savings:.1%}, "
+              f"DC read savings {result.read_savings:.1%}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    comparisons = []
+    for key in _parse_videos(args.videos):
+        results = [simulate(workload(key), scheme, n_frames=args.frames,
+                            seed=args.seed)
+                   for scheme in FIG11_SCHEMES]
+        comparisons.append(compare_schemes(results))
+        print(f"  {key} done", file=sys.stderr)
+    print(comparison_report(comparisons))
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    config = SimulationConfig()
+    rows = []
+    for key in _parse_videos(args.videos):
+        stream = SyntheticVideo(config.video, workload(key), seed=args.seed,
+                                n_frames=args.frames)
+        census = content_census(stream)
+        rows.append([key, census.intra_fraction, census.inter_fraction,
+                     census.none_fraction])
+    print(format_table(["video", "intra", "inter", "none"], rows,
+                       title="Content census (paper avg: .42/.15/.43)"))
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [[p.key, p.name, p.description, p.n_frames]
+            for p in PAPER_WORKLOADS]
+    print(format_table(["key", "name", "description", "#frames"], rows,
+                       title="Table 1 workloads"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .video.trace import FrameTrace
+
+    if args.action == "capture":
+        config = SimulationConfig()
+        stream = SyntheticVideo(config.video, workload(args.video),
+                                seed=args.seed, n_frames=args.frames)
+        trace = FrameTrace.from_frames(stream, config.video.width,
+                                       config.video.height,
+                                       config.video.block_size)
+        trace.save(args.path)
+        print(f"captured {len(trace)} frames of {args.video} "
+              f"to {args.path}")
+        return 0
+    trace = FrameTrace.load(args.path)
+    if args.action == "census":
+        census = content_census(list(trace))
+        print(f"{args.path}: {len(trace)} frames, "
+              f"intra {census.intra_fraction:.1%} / "
+              f"inter {census.inter_fraction:.1%} / "
+              f"none {census.none_fraction:.1%}")
+        return 0
+    # action == "run"
+    scheme = _SCHEMES[args.scheme.lower()]
+    base = simulate(trace, BASELINE, seed=args.seed)
+    result = simulate(trace, scheme, seed=args.seed)
+    print(f"{args.path} under {scheme.name}: "
+          f"{result.energy.total / base.energy.total:.3f}x baseline "
+          f"energy, {result.drops} drops, "
+          f"write savings {result.write_savings:.1%}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .validation import summarize, validate_against_paper
+
+    checks = validate_against_paper(
+        frames=args.frames, seed=args.seed,
+        progress=lambda name: print(f"  checking {name} ...",
+                                    file=sys.stderr))
+    print(summarize(checks))
+    return 0 if all(check.passed for check in checks) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy simulator for 'Race-To-Sleep + Content "
+                    "Caching + Display Caching' (MICRO-50 2017)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one video under one scheme")
+    run.add_argument("video", help="workload key, e.g. V8")
+    run.add_argument("scheme", choices=sorted(_SCHEMES),
+                     help="scheme name (baseline/batching/racing/"
+                          "race-to-sleep/mab/gab)")
+    run.add_argument("--frames", type=int, default=180)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare",
+                             help="Fig. 11 comparison across schemes")
+    compare.add_argument("--videos", default="V1,V8,V14",
+                         help="comma-separated keys or 'all'")
+    compare.add_argument("--frames", type=int, default=120)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+
+    census = sub.add_parser("census", help="Fig. 7b content census")
+    census.add_argument("--videos", default="all")
+    census.add_argument("--frames", type=int, default=96)
+    census.add_argument("--seed", type=int, default=0)
+    census.set_defaults(func=_cmd_census)
+
+    workloads = sub.add_parser("workloads", help="list Table 1 profiles")
+    workloads.set_defaults(func=_cmd_workloads)
+
+    trace = sub.add_parser("trace", help="capture or replay frame traces")
+    trace.add_argument("action", choices=("capture", "census", "run"))
+    trace.add_argument("path", help="trace file (.npz)")
+    trace.add_argument("--video", default="V8",
+                       help="workload to capture (capture only)")
+    trace.add_argument("--scheme", default="gab",
+                       help="scheme for 'run' (default gab)")
+    trace.add_argument("--frames", type=int, default=120)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.set_defaults(func=_cmd_trace)
+
+    validate = sub.add_parser(
+        "validate", help="check this build against the paper's claims")
+    validate.add_argument("--frames", type=int, default=96)
+    validate.add_argument("--seed", type=int, default=7)
+    validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

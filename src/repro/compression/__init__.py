@@ -1,0 +1,5 @@
+"""Frame compression baselines (Delta Colour Compression)."""
+
+from .dcc import compressed_sizes, dcc_ratio
+
+__all__ = ["compressed_sizes", "dcc_ratio"]

@@ -1,0 +1,455 @@
+"""Configuration dataclasses for every simulated component.
+
+Defaults follow the paper's Table 2 and the surrounding text:
+
+* Video decoder (VD): 0.30 W @ 150 MHz, 0.69 W @ 300 MHz [Zhou et al.].
+* Sleep states: S1 (light) and S3 (deep); waking costs 0.8 ms / 1.6 ms.
+* DRAM: LPDDR3, 2 channels x 1 rank x 8 banks, 800 MHz, RoRaBaCoCh.
+* Display: 3840x2160 @ 60 Hz, 0.12 W.
+* MACH: 8 per-frame caches, 256 entries, 4-way, CRC32 digests.
+* Display cache: 16 KB direct-mapped; MACH buffer: 96 KB / 2 K entries.
+
+Energy constants that the paper never states in absolute terms (per
+Act/Pre pair, per 64-byte burst, background power) are calibrated so
+that the *baseline* energy breakdown matches Fig. 1a / Fig. 11 shape;
+see ``PaperCalibration`` and DESIGN.md section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+from .units import MHZ, MS, MW, NS, W, kib
+
+CACHE_LINE_BYTES = 64
+BYTES_PER_PIXEL = 3  # RGB, as in the Android framebuffer the paper assumes.
+
+#: Native resolution the paper simulates (4K UHD).
+NATIVE_WIDTH = 3840
+NATIVE_HEIGHT = 2160
+
+#: Default scaled-down simulation resolution (see DESIGN.md section 2).
+DEFAULT_SIM_WIDTH = 192
+DEFAULT_SIM_HEIGHT = 108
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class VideoConfig:
+    """Geometry of the simulated video stream."""
+
+    width: int = DEFAULT_SIM_WIDTH
+    height: int = DEFAULT_SIM_HEIGHT
+    fps: float = 60.0
+    block_size: int = 4  # decoded macroblock (mab) edge, in pixels
+    gop_length: int = 30  # frames per I-to-I group of pictures
+    b_frames_per_gop: int = 8
+
+    def __post_init__(self) -> None:
+        _require(self.width > 0 and self.height > 0, "resolution must be positive")
+        _require(self.block_size > 0, "block size must be positive")
+        _require(
+            self.width % self.block_size == 0 and self.height % self.block_size == 0,
+            f"{self.width}x{self.height} must divide into {self.block_size}px blocks",
+        )
+        _require(self.fps > 0, "fps must be positive")
+        _require(self.gop_length >= 1, "GOP must contain at least one frame")
+
+    @property
+    def blocks_per_row(self) -> int:
+        return self.width // self.block_size
+
+    @property
+    def blocks_per_col(self) -> int:
+        return self.height // self.block_size
+
+    @property
+    def blocks_per_frame(self) -> int:
+        return self.blocks_per_row * self.blocks_per_col
+
+    @property
+    def block_bytes(self) -> int:
+        """Decoded bytes in one mab (48 B for the paper's 4x4 RGB blocks)."""
+        return self.block_size * self.block_size * BYTES_PER_PIXEL
+
+    @property
+    def frame_bytes(self) -> int:
+        return self.width * self.height * BYTES_PER_PIXEL
+
+    @property
+    def frame_interval(self) -> float:
+        """Seconds between display refreshes (16.6 ms at 60 fps)."""
+        return 1.0 / self.fps
+
+    @property
+    def scale_to_native(self) -> float:
+        """Multiplier from simulated pixels to 4K pixels (for MB/mJ reports)."""
+        return (NATIVE_WIDTH * NATIVE_HEIGHT) / float(self.width * self.height)
+
+
+@dataclass(frozen=True)
+class PowerStateConfig:
+    """The SoC power states available to the VD (paper Fig. 2a).
+
+    ``p_active`` power depends on the operating frequency and lives in
+    :class:`DecoderConfig`; this class holds the idle and sleep states
+    plus the transition cost table.  Transition *latency* is paid when
+    waking (S -> P); transition *energy* covers the full round trip.
+    """
+
+    p_idle_power: float = 320 * MW  # powered-on but not decoding ("short slack")
+    s1_power: float = 50 * MW
+    s3_power: float = 3 * MW
+    s1_wake_latency: float = 0.8 * MS
+    s3_wake_latency: float = 1.6 * MS
+    s1_transition_energy: float = 0.45e-3  # J per round trip
+    s3_transition_energy: float = 1.2e-3  # J per round trip
+
+    #: Transitions to/from the boosted P-state cost more (the paper's
+    #: Fig. 4c: "the energy in transitions increases ... because the
+    #: operating frequency is increased").  Applied when racing.
+    racing_transition_factor: float = 2.6
+
+    def __post_init__(self) -> None:
+        _require(self.s3_power <= self.s1_power <= self.p_idle_power,
+                 "deeper states must consume less power")
+        _require(self.s1_wake_latency <= self.s3_wake_latency,
+                 "deep sleep must be slower to wake")
+
+    def sleep_breakeven(self, state: str) -> float:
+        """Minimum slack (s) for which entering ``state`` saves energy.
+
+        Sleeping for ``t`` instead of idling saves
+        ``t * (p_idle - p_state) - transition_energy``; the breakeven also
+        must cover the wake latency so the next frame is not delayed.
+        """
+        if state == "S1":
+            energy_breakeven = self.s1_transition_energy / (
+                self.p_idle_power - self.s1_power)
+            return max(energy_breakeven, self.s1_wake_latency)
+        if state == "S3":
+            energy_breakeven = self.s3_transition_energy / (
+                self.p_idle_power - self.s3_power)
+            return max(energy_breakeven, self.s3_wake_latency)
+        raise ConfigError(f"unknown sleep state: {state!r}")
+
+
+@dataclass(frozen=True)
+class DecoderConfig:
+    """Hardware video decoder (VD) timing and power (Table 2)."""
+
+    low_freq: float = 150 * MHZ
+    high_freq: float = 300 * MHZ
+    low_freq_power: float = 0.30 * W
+    high_freq_power: float = 0.69 * W
+    power_states: PowerStateConfig = field(default_factory=PowerStateConfig)
+
+    # Decode-work model: cycles = base + per-frame cycles by type,
+    # scaled by the frame's complexity multiplier.  Per-*frame* (not
+    # per-block) so decode time models the real 4K stream regardless of
+    # the scaled simulation resolution.  Calibrated so that at 150 MHz
+    # the frame-time CDF reproduces the paper's Fig. 2b region mix
+    # (~4 % drops / 12 % short-slack / 37 % S1 / 40 % S3).
+    cycles_per_frame_i: float = 2.333e6
+    cycles_per_frame_p: float = 1.980e6
+    cycles_per_frame_b: float = 1.882e6
+    base_cycles: float = 24000.0
+
+    # Conventional VD cache used during decode computation (Fig. 7a).
+    cache_bytes: int = kib(32)
+    cache_ways: int = 4
+
+    # Reference-read traffic model: P/B motion compensation re-reads
+    # this fraction of a frame's lines from the reference buffers; the
+    # conventional VD cache absorbs ``ref_cache_hit_rate`` of them
+    # (Fig. 7a: compute-phase accesses cache well).
+    ref_read_fraction: float = 0.35
+    ref_cache_hit_rate: float = 0.80
+
+    def __post_init__(self) -> None:
+        _require(self.low_freq < self.high_freq, "low frequency must be lower")
+        _require(self.low_freq_power < self.high_freq_power,
+                 "higher frequency must cost more power")
+
+    def frequency(self, racing: bool) -> float:
+        return self.high_freq if racing else self.low_freq
+
+    def active_power(self, racing: bool) -> float:
+        return self.high_freq_power if racing else self.low_freq_power
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """LPDDR3 organization, timing, and calibrated energy (Table 2)."""
+
+    channels: int = 2
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    row_bytes: int = 2048
+    line_bytes: int = CACHE_LINE_BYTES
+    io_freq: float = 800 * MHZ  # 1.6 GT/s DDR
+    t_cl: float = 12 * NS
+    t_rp: float = 18 * NS
+    t_rcd: float = 18 * NS
+
+    #: Effective row-buffer hold time under multi-master contention:
+    #: the controller "can hold a row up to a limited time-duration to
+    #: avoid starving requests to other rows" (paper Sec. 3.2, Fig. 5a).
+    #: The value is chosen between the VD's per-line intervals at
+    #: 150 MHz (~34 ns) and 300 MHz (~17 ns), which is precisely what
+    #: makes the low-frequency decoder lose its rows between accesses
+    #: while the racing decoder keeps them — the paper's Fig. 5a.
+    row_max_open: float = 26 * NS
+
+    #: FR-FCFS-style scheduling window: requests arriving within the
+    #: same quantum are served row-hit-first, so concurrent streams do
+    #: not thrash a bank at single-access granularity.  0 disables the
+    #: batching (strict arrival order).
+    scheduler_quantum: float = 600 * NS
+
+    # Calibrated energy constants (see module docstring).
+    act_pre_energy: float = 20e-9  # J per activate+precharge pair
+    burst_energy: float = 2.35e-9  # J per 64-byte read or write burst
+    background_power: float = 115 * MW
+
+    def __post_init__(self) -> None:
+        _require(self.channels >= 1 and self.banks_per_rank >= 1,
+                 "need at least one channel and bank")
+        for name in ("row_bytes", "line_bytes"):
+            value = getattr(self, name)
+            _require(value > 0 and value & (value - 1) == 0,
+                     f"{name} must be a power of two")
+        _require(self.line_bytes <= self.row_bytes, "line must fit in a row")
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def lines_per_row(self) -> int:
+        return self.row_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class DisplayConfig:
+    """Display controller (DC) parameters (Table 2)."""
+
+    refresh_hz: float = 60.0
+    power: float = 0.12 * W
+    display_cache_bytes: int = kib(16)
+    display_cache_static_power: float = 3.6 * MW
+    display_cache_dynamic_power: float = 0.5 * MW
+
+    def __post_init__(self) -> None:
+        _require(self.refresh_hz > 0, "refresh rate must be positive")
+
+    @property
+    def refresh_interval(self) -> float:
+        return 1.0 / self.refresh_hz
+
+    def scaled_cache_bytes(self, video: "VideoConfig",
+                           line_bytes: int = CACHE_LINE_BYTES) -> int:
+        """Display-cache capacity scaled to the sim resolution.
+
+        Same rationale as :meth:`MachConfig.scaled_for`: 16 KB against a
+        24 MB 4K frame becomes a proportionally smaller cache against a
+        scaled frame, floored at four lines (the short-range straddle
+        reuse the cache exists for survives even at that size).
+        """
+        ratio = 1.0 / video.scale_to_native
+        if ratio >= 1.0:
+            return self.display_cache_bytes
+        lines = max(16, int(round(self.display_cache_bytes * ratio / line_bytes)))
+        lines = 1 << (lines.bit_length() - 1)
+        return lines * line_bytes
+
+
+@dataclass(frozen=True)
+class MachConfig:
+    """MACH content cache at the VD plus the DC-side MACH buffer."""
+
+    num_machs: int = 8  # one per recent frame (paper picks 8)
+    entries_per_mach: int = 256
+    ways: int = 4
+    digest_scheme: str = "crc32"
+    use_gradient: bool = True  # gab (True) vs mab (False) tagging
+    pointer_bytes: int = 4
+    digest_bytes: int = 4
+    base_bytes: int = BYTES_PER_PIXEL  # gab base = first pixel (3 bytes)
+    coalescing: bool = True
+
+    # CO-MACH deep-hashing extension (paper Sec. 6.3).
+    co_mach: bool = False
+    co_mach_entries: int = 256
+
+    # MACH buffer at the display controller.
+    buffer_entries: int = 2048
+
+    # Table 2 power numbers (CACTI-derived in the paper).
+    mach_static_power: float = 1.9 * MW
+    mach_dynamic_power: float = 3.8 * MW
+    buffer_static_power: float = 24 * MW
+    buffer_dynamic_power: float = 1.4 * MW
+    co_mach_extra_power: float = 1.4 * MW
+
+    def __post_init__(self) -> None:
+        _require(self.num_machs >= 1, "need at least one MACH")
+        _require(self.entries_per_mach % self.ways == 0,
+                 "entries must divide into ways")
+        sets = self.entries_per_mach // self.ways
+        _require(sets & (sets - 1) == 0, "MACH set count must be a power of two")
+
+    @property
+    def sets_per_mach(self) -> int:
+        return self.entries_per_mach // self.ways
+
+    @property
+    def total_entries(self) -> int:
+        return self.num_machs * self.entries_per_mach
+
+    def scaled_for(self, video: "VideoConfig") -> "MachConfig":
+        """Capacity-scale the MACH structures to the sim resolution.
+
+        The paper sizes MACH (8 x 256 entries), the MACH buffer (2 K
+        entries), and the display cache (16 KB) against 4K frames of
+        ~518 K blocks.  A scaled simulation has proportionally fewer
+        distinct blocks per frame, so keeping the *absolute* capacities
+        would remove all cache pressure; instead the entry counts are
+        scaled by the block ratio (rounded to power-of-two set counts),
+        preserving the capacity-to-content ratio that the paper's
+        realized match rates depend on.
+        """
+        ratio = 1.0 / video.scale_to_native
+        if ratio >= 1.0:
+            return self
+
+        def scale_entries(entries: int, minimum: int) -> int:
+            scaled = max(minimum, int(round(entries * ratio)))
+            sets = max(1, scaled // self.ways)
+            sets = 1 << (sets.bit_length() - 1)  # round down to pow2
+            return sets * self.ways
+
+        scaled_entries = scale_entries(self.entries_per_mach, 8 * self.ways)
+        # The paper sizes the MACH buffer to hold every dumped entry
+        # (2 K = 8 x 256); preserve that relation after scaling.
+        scaled_buffer = max(self.num_machs * scaled_entries,
+                            int(round(self.buffer_entries * ratio)))
+        return replace(
+            self,
+            entries_per_mach=scaled_entries,
+            buffer_entries=scaled_buffer,
+            co_mach_entries=scale_entries(self.co_mach_entries, self.ways),
+        )
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Streaming-source model: periodic chunk delivery into the buffer.
+
+    The paper observes YouTube buffering every 400-500 ms; our default
+    delivers half a second of frames every half second after an initial
+    pre-roll of several seconds.
+    """
+
+    chunk_interval: float = 0.45  # s between deliveries
+    preroll_frames: int = 120  # frames buffered before playback starts
+    max_buffered_frames: int = 600
+
+    def __post_init__(self) -> None:
+        _require(self.chunk_interval > 0, "chunk interval must be positive")
+        _require(self.preroll_frames >= 1, "need at least one pre-rolled frame")
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    """One of the paper's evaluated schemes (Fig. 11 legend).
+
+    ``batch_size`` = 1 disables batching; ``racing`` selects the high VD
+    frequency; ``content_cache`` is ``None`` / ``"mab"`` / ``"gab"``;
+    ``display_caching`` enables the display cache + MACH buffer; ``dcc``
+    stacks intra-block delta colour compression on the write path.
+    """
+
+    name: str
+    batch_size: int = 1
+    racing: bool = False
+    content_cache: str | None = None
+    display_caching: bool = False
+    dcc: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.batch_size >= 1, "batch size must be >= 1")
+        _require(self.content_cache in (None, "mab", "gab"),
+                 f"unknown content cache mode: {self.content_cache!r}")
+        if self.display_caching:
+            _require(self.content_cache is not None,
+                     "display caching requires MACH on the VD side")
+
+    @property
+    def uses_mach(self) -> bool:
+        return self.content_cache is not None
+
+
+@dataclass(frozen=True)
+class PaperCalibration:
+    """Calibrated knobs that tie emergent behaviour to the paper's shape.
+
+    See DESIGN.md section 5 for the target list.  These are *not* free
+    parameters tweaked per experiment — they are fixed here once and
+    every benchmark runs with them.
+    """
+
+    # Spread of the per-frame complexity multiplier (lognormal sigma),
+    # which fans frame decode times into the paper's region I-IV mix.
+    complexity_sigma: float = 0.12
+
+    # Background (non-video) memory traffic, as a fraction of the
+    # video-path line rate; models CPU/GPU masters that steal rows.
+    other_traffic_fraction: float = 0.07
+
+    # The DC scans the frame buffer over this fraction of the refresh
+    # interval (the blanking interval takes the rest).
+    display_scan_duty: float = 0.85
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level configuration for an end-to-end run."""
+
+    video: VideoConfig = field(default_factory=VideoConfig)
+    decoder: DecoderConfig = field(default_factory=DecoderConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    display: DisplayConfig = field(default_factory=DisplayConfig)
+    mach: MachConfig = field(default_factory=MachConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    calibration: PaperCalibration = field(default_factory=PaperCalibration)
+    seed: int = 0
+
+    def with_scheme_mach(self, scheme: SchemeConfig) -> MachConfig:
+        """MACH configuration adjusted for ``scheme`` (mab vs gab)."""
+        if scheme.content_cache is None:
+            return self.mach
+        return replace(self.mach, use_gradient=scheme.content_cache == "gab")
+
+
+# --- the six schemes of Fig. 11 ---------------------------------------
+
+BASELINE = SchemeConfig(name="Baseline")
+BATCHING = SchemeConfig(name="Batching", batch_size=16)
+RACING = SchemeConfig(name="Racing", racing=True)
+RACE_TO_SLEEP = SchemeConfig(name="Race-to-Sleep", batch_size=16, racing=True)
+MAB = SchemeConfig(name="MAB", batch_size=16, racing=True,
+                   content_cache="mab", display_caching=True)
+GAB = SchemeConfig(name="GAB", batch_size=16, racing=True,
+                   content_cache="gab", display_caching=True)
+GAB_DCC = SchemeConfig(name="GAB+DCC", batch_size=16, racing=True,
+                       content_cache="gab", display_caching=True, dcc=True)
+DCC_ONLY = SchemeConfig(name="DCC", batch_size=16, racing=True, dcc=True)
+
+#: The evaluation order used by Fig. 11 (L, B, R, S, M, G).
+FIG11_SCHEMES = (BASELINE, BATCHING, RACING, RACE_TO_SLEEP, MAB, GAB)

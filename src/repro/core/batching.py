@@ -1,0 +1,47 @@
+"""Streaming-buffer model and batch admission (paper Sec. 3.1).
+
+The network stack delivers encoded frames in periodic chunks (YouTube
+buffers every 400-500 ms); the decoder can only batch what is already
+buffered.  Race-to-Sleep "does not need to wait for 8 frames to start —
+it is adaptive to network performance and can leverage any number of
+frames that are already buffered" (Sec. 3.3), which is exactly what
+:meth:`NetworkModel.frames_available` enables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import NetworkConfig
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Deterministic chunked frame-arrival process."""
+
+    config: NetworkConfig
+    fps: float
+    total_frames: int
+
+    @property
+    def chunk_frames(self) -> int:
+        """Frames delivered per chunk interval."""
+        return max(1, int(round(self.config.chunk_interval * self.fps)))
+
+    def frames_available(self, time: float) -> int:
+        """Encoded frames buffered by ``time`` (starting at t=0)."""
+        if time < 0:
+            return 0
+        chunks = int(time / self.config.chunk_interval)
+        available = self.config.preroll_frames + chunks * self.chunk_frames
+        return min(self.total_frames, available)
+
+    def time_when_available(self, count: int) -> float:
+        """Earliest time at which ``count`` frames are buffered."""
+        count = min(count, self.total_frames)
+        if count <= self.config.preroll_frames:
+            return 0.0
+        needed_chunks = math.ceil(
+            (count - self.config.preroll_frames) / self.chunk_frames)
+        return needed_chunks * self.config.chunk_interval

@@ -1,0 +1,95 @@
+"""System energy breakdown — the nine stacked parts of Fig. 11.
+
+The paper splits each scheme's energy into: DC, memory background, VD
+processing, sleep, short slack, memory burst, memory Act/Pre, power
+state transitions, and MAB/GAB (MACH) overheads.  This module holds
+that breakdown and builds it from the power tracker, the memory
+counters, and the always-on component powers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+from ..config import DisplayConfig, MachConfig, SchemeConfig
+from ..decoder.power import PowerState, PowerTracker
+from ..memory.energy import MemoryEnergy
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per component over one playback run (Fig. 11 legend)."""
+
+    dc: float = 0.0
+    mem_background: float = 0.0
+    vd_processing: float = 0.0
+    sleep: float = 0.0
+    short_slack: float = 0.0
+    mem_burst: float = 0.0
+    mem_act_pre: float = 0.0
+    transition: float = 0.0
+    mach_overhead: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    @property
+    def memory_total(self) -> float:
+        return self.mem_background + self.mem_burst + self.mem_act_pre
+
+    @property
+    def vd_total(self) -> float:
+        return (self.vd_processing + self.sleep + self.short_slack
+                + self.transition)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> Dict[str, float]:
+        """Each component as a fraction of ``baseline``'s total."""
+        total = baseline.total
+        return {name: value / total for name, value in self.as_dict().items()}
+
+    def per_frame_mj(self, n_frames: int) -> float:
+        """Average millijoules per frame."""
+        return self.total / n_frames * 1e3 if n_frames else 0.0
+
+
+def build_breakdown(
+    tracker: PowerTracker,
+    memory: MemoryEnergy,
+    display: DisplayConfig,
+    mach: MachConfig,
+    scheme: SchemeConfig,
+    elapsed: float,
+) -> EnergyBreakdown:
+    """Assemble the run's breakdown from component accounting.
+
+    ``memory`` must already be rescaled to native (4K) traffic volume;
+    everything else is computed from real component powers and the
+    run's wall-clock ``elapsed`` time.
+    """
+    mach_power = 0.0
+    if scheme.uses_mach:
+        mach_power += mach.mach_static_power + mach.mach_dynamic_power
+        if scheme.display_caching:
+            mach_power += (mach.buffer_static_power
+                           + mach.buffer_dynamic_power
+                           + display.display_cache_static_power
+                           + display.display_cache_dynamic_power)
+        if mach.co_mach:
+            mach_power += mach.co_mach_extra_power
+    return EnergyBreakdown(
+        dc=display.power * elapsed,
+        mem_background=memory.background,
+        vd_processing=tracker.energy_by_state[PowerState.EXECUTION],
+        sleep=(tracker.energy_by_state[PowerState.S1]
+               + tracker.energy_by_state[PowerState.S3]),
+        short_slack=tracker.energy_by_state[PowerState.SHORT_SLACK],
+        mem_burst=memory.burst,
+        mem_act_pre=memory.act_pre,
+        transition=tracker.energy_by_state[PowerState.TRANSITION],
+        mach_overhead=mach_power * elapsed,
+    )

@@ -1,0 +1,116 @@
+"""Frame-buffer layouts (paper Fig. 9c).
+
+Three layouts for a decoded frame in memory:
+
+* **RAW** (Fig. 9c i) — blocks stored back to back; what the baseline
+  and plain Race-to-Sleep write.
+* **POINTER** (Fig. 9c ii) — a dense pointer table (4 B per block
+  position) plus a compacted data region holding only unique blocks;
+  matched blocks are just pointers at their donor's storage.
+* **POINTER_DIGEST** (Fig. 9c iii) — same, but *inter*-frame matches
+  are recorded as digests (resolved by the DC's MACH buffer) and a
+  bitmap distinguishes the two record types.  This is the layout the
+  display-caching scheme consumes.
+
+A :class:`FrameLayout` carries the per-block record arrays plus the
+region geometry, which is everything the display read path needs to
+synthesize its memory accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from ..errors import LayoutError
+
+
+class LayoutMode(IntEnum):
+    RAW = 0
+    POINTER = 1
+    POINTER_DIGEST = 2
+
+
+class RecordKind(IntEnum):
+    """Per-block record in the pointer table."""
+
+    STORED = 0  # no match: full block lives in the data region
+    POINTER = 1  # intra (or inter, in POINTER mode) match: 4-byte pointer
+    DIGEST = 2  # inter match by digest (POINTER_DIGEST mode only)
+
+
+@dataclass
+class FrameLayout:
+    """Concrete placement of one decoded frame inside its buffer slot."""
+
+    frame_index: int
+    mode: LayoutMode
+    n_blocks: int
+    block_bytes: int
+    kinds: np.ndarray  # uint8 RecordKind per block
+    pointers: np.ndarray  # int64 block-data address (own or donor); -1 for DIGEST
+    digests: np.ndarray  # uint64 digest per block (0 where unused)
+    bases_present: bool  # gab layouts carry a 3-byte base per block
+    table_base: int
+    bases_base: int
+    data_base: int
+    data_bytes: int  # bytes of unique block data actually stored
+    dump_base: int
+    dump_bytes: int  # dumped MACH (digest + pointer per entry)
+    pointer_bytes: int = 4
+    base_bytes: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("kinds", "pointers", "digests"):
+            if len(getattr(self, name)) != self.n_blocks:
+                raise LayoutError(f"{name} must have one entry per block")
+        if self.mode is LayoutMode.RAW and self.bases_present:
+            raise LayoutError("RAW layout carries no bases")
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def bitmap_bytes(self) -> int:
+        """One bit per block distinguishing pointer vs digest records."""
+        if self.mode is LayoutMode.POINTER_DIGEST:
+            return (self.n_blocks + 7) // 8
+        return 0
+
+    @property
+    def table_bytes(self) -> int:
+        if self.mode is LayoutMode.RAW:
+            return 0
+        return self.n_blocks * self.pointer_bytes + self.bitmap_bytes
+
+    @property
+    def bases_bytes(self) -> int:
+        return self.n_blocks * self.base_bytes if self.bases_present else 0
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.table_bytes + self.bases_bytes + self.dump_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """The frame's memory footprint under this layout."""
+        return self.metadata_bytes + self.data_bytes
+
+    @property
+    def raw_bytes(self) -> int:
+        """What the same frame costs in RAW layout (the baseline)."""
+        return self.n_blocks * self.block_bytes
+
+    @property
+    def savings(self) -> float:
+        """Fractional space saving versus RAW (negative = overhead)."""
+        return 1.0 - self.total_bytes / self.raw_bytes
+
+    # -- per-kind views -------------------------------------------------------
+
+    def count(self, kind: RecordKind) -> int:
+        return int((self.kinds == int(kind)).sum())
+
+    def mask(self, kind: RecordKind) -> np.ndarray:
+        return self.kinds == np.uint8(int(kind))

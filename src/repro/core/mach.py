@@ -1,0 +1,242 @@
+"""MACH — the MAcroblock caCHe (paper Sec. 4).
+
+One MACH is built *per frame* while that frame decodes: a 256-entry
+4-way set-associative cache mapping a block digest to the address where
+that block's bytes live in a frame buffer.  When the frame finishes,
+its MACH freezes and joins a ring of the ``num_machs`` most recent
+frames; lookups consult the current frame first (intra matches) and
+then the frozen ring, newest first (inter matches).
+
+The CO-MACH extension (Sec. 6.3) stores a CRC16 auxiliary field next to
+each entry: a CRC32 tag hit with a CRC16 mismatch is a detected
+collision, and the colliding entry is kept in a small side cache tagged
+by the full 48-bit digest.  Without CO-MACH a CRC32 collision silently
+reuses the wrong block — the tracker still counts those so Fig. 12d can
+report them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..cache import SetAssociativeCache
+from ..config import MachConfig
+
+_AUX_MASK = 0xFFFF
+_TAG_MASK = 0xFFFFFFFF
+
+
+class MatchKind(Enum):
+    """Where a block's content was found (Fig. 7b categories)."""
+
+    INTRA = "intra"
+    INTER = "inter"
+    NONE = "none"
+
+
+@dataclass
+class MachStats:
+    """Running match statistics across a run."""
+
+    intra: int = 0
+    inter: int = 0
+    none: int = 0
+    detected_collisions: int = 0
+    silent_collisions: int = 0
+    co_mach_hits: int = 0
+    match_counter: Counter = field(default_factory=Counter)
+
+    @property
+    def total(self) -> int:
+        return self.intra + self.inter + self.none
+
+    @property
+    def match_rate(self) -> float:
+        if not self.total:
+            return 0.0
+        return (self.intra + self.inter) / self.total
+
+    def record(self, kind: MatchKind, digest: int) -> None:
+        if kind is MatchKind.INTRA:
+            self.intra += 1
+            self.match_counter[digest] += 1
+        elif kind is MatchKind.INTER:
+            self.inter += 1
+            self.match_counter[digest] += 1
+        else:
+            self.none += 1
+
+    def top_match_share(self, top_n: int = 1) -> float:
+        """Fraction of all matches owned by the ``top_n`` digests (Fig. 9b)."""
+        matches = self.intra + self.inter
+        if not matches:
+            return 0.0
+        return sum(c for _, c in self.match_counter.most_common(top_n)) / matches
+
+
+@dataclass(frozen=True)
+class FrozenMach:
+    """An immutable, finished per-frame MACH (what gets dumped)."""
+
+    frame_index: int
+    table: Dict[int, Tuple[int, int]]  # digest -> (address, aux)
+    digests: np.ndarray  # uint64 array of resident digests
+
+    @property
+    def entries(self) -> int:
+        return len(self.table)
+
+
+class FrameMach:
+    """The MACH of the frame currently being decoded.
+
+    ``unbounded=True`` replaces the set-associative structure with a
+    plain dict — the capacity-free oracle used as the "optimal" bar in
+    Fig. 9a.
+    """
+
+    def __init__(self, config: MachConfig, frame_index: int,
+                 unbounded: bool = False) -> None:
+        self.config = config
+        self.frame_index = frame_index
+        self.unbounded = unbounded
+        if unbounded:
+            self._dict: Optional[Dict[int, Tuple[int, int]]] = {}
+            self._cache: Optional[SetAssociativeCache] = None
+        else:
+            self._dict = None
+            self._cache = SetAssociativeCache(
+                sets=config.sets_per_mach, ways=config.ways)
+        self._co_mach: Optional[SetAssociativeCache] = None
+        if config.co_mach and not unbounded:
+            co_sets = max(1, config.co_mach_entries // config.ways)
+            # Round the CO-MACH set count down to a power of two.
+            co_sets = 1 << (co_sets.bit_length() - 1)
+            self._co_mach = SetAssociativeCache(sets=co_sets, ways=config.ways)
+
+    def lookup(self, digest: int, aux: int,
+               stats: Optional[MachStats] = None) -> Optional[int]:
+        """Find ``digest`` in this MACH; returns the block address or None.
+
+        ``aux`` is the CRC16 auxiliary used for CO-MACH collision
+        detection; pass 0 when the digest scheme has no aux bits.
+        """
+        if self._dict is not None:
+            entry = self._dict.get(digest)
+        else:
+            assert self._cache is not None
+            _, entry = self._cache.lookup(digest)
+        if entry is not None:
+            address, stored_aux = entry
+            if stored_aux == aux or not self.config.co_mach:
+                if stored_aux != aux and stats is not None:
+                    stats.silent_collisions += 1
+                return address
+            # Detected CRC32 collision: fall back to CO-MACH.
+            if stats is not None:
+                stats.detected_collisions += 1
+            if self._co_mach is not None:
+                deep_tag = (aux << 32) | digest
+                _, co_entry = self._co_mach.lookup(deep_tag)
+                if co_entry is not None:
+                    if stats is not None:
+                        stats.co_mach_hits += 1
+                    return int(co_entry)
+            return None
+        if self._co_mach is not None:
+            deep_tag = (aux << 32) | digest
+            _, co_entry = self._co_mach.lookup(deep_tag)
+            if co_entry is not None:
+                if stats is not None:
+                    stats.co_mach_hits += 1
+                return int(co_entry)
+        return None
+
+    def insert(self, digest: int, address: int, aux: int) -> None:
+        """Record that the block with ``digest`` now lives at ``address``."""
+        if self._dict is not None:
+            self._dict[digest] = (address, aux)
+            return
+        assert self._cache is not None
+        if self.config.co_mach:
+            existing = self._cache.peek(digest)
+            if existing is not None and existing[1] != aux:
+                # Collided with a resident entry: spill to CO-MACH.
+                if self._co_mach is not None:
+                    self._co_mach.insert((aux << 32) | digest, address)
+                return
+        self._cache.insert(digest, (address, aux))
+
+    def freeze(self) -> FrozenMach:
+        """Finish the frame: snapshot resident entries immutably."""
+        if self._dict is not None:
+            table = dict(self._dict)
+        else:
+            assert self._cache is not None
+            table = {digest: value for digest, value in self._cache.items()}
+        digests = np.fromiter(table.keys(), dtype=np.uint64, count=len(table))
+        return FrozenMach(self.frame_index, table, digests)
+
+
+class MachRing:
+    """The current MACH plus the frozen ring of recent frames."""
+
+    def __init__(self, config: MachConfig, unbounded: bool = False) -> None:
+        self.config = config
+        self.unbounded = unbounded
+        self.stats = MachStats()
+        self._current: Optional[FrameMach] = None
+        self._frozen: Deque[FrozenMach] = deque(maxlen=max(config.num_machs - 1, 0))
+
+    def begin_frame(self, frame_index: int) -> None:
+        if self._current is not None:
+            raise RuntimeError("previous frame was never ended")
+        self._current = FrameMach(self.config, frame_index, self.unbounded)
+
+    def lookup(self, digest: int, aux: int = 0) -> Tuple[MatchKind, Optional[int]]:
+        """Search current-then-frozen; returns (kind, address)."""
+        current = self._require_current()
+        address = current.lookup(digest, aux, self.stats)
+        if address is not None:
+            return MatchKind.INTRA, address
+        for frozen in reversed(self._frozen):  # newest frame first
+            entry = frozen.table.get(digest)
+            if entry is not None:
+                stored_address, stored_aux = entry
+                if stored_aux != aux and self.config.co_mach:
+                    self.stats.detected_collisions += 1
+                    continue
+                if stored_aux != aux:
+                    self.stats.silent_collisions += 1
+                return MatchKind.INTER, stored_address
+        return MatchKind.NONE, None
+
+    def insert(self, digest: int, address: int, aux: int = 0) -> None:
+        self._require_current().insert(digest, address, aux)
+
+    def end_frame(self) -> FrozenMach:
+        """Freeze the current frame's MACH and rotate it into the ring."""
+        frozen = self._require_current().freeze()
+        if self._frozen.maxlen:
+            self._frozen.append(frozen)
+        self._current = None
+        return frozen
+
+    def _require_current(self) -> FrameMach:
+        if self._current is None:
+            raise RuntimeError("no frame in progress; call begin_frame()")
+        return self._current
+
+    @property
+    def frozen_frames(self) -> Tuple[int, ...]:
+        return tuple(f.frame_index for f in self._frozen)
+
+
+def split_digest(deep_digest: int) -> Tuple[int, int]:
+    """Split a 48-bit deep digest into (crc32 tag, crc16 aux)."""
+    return deep_digest & _TAG_MASK, (deep_digest >> 32) & _AUX_MASK

@@ -1,0 +1,95 @@
+"""Race-to-Sleep governor (paper Sec. 3).
+
+The governor decides, after each decoded batch, when the VD must wake
+again.  It balances three constraints:
+
+* **deadline safety** — the next undecoded frame must still meet its
+  display deadline, with a conservative decode-time estimate and the
+  deep-sleep wake latency as margin (this is what eliminates drops);
+* **batch formation** — waking earlier than necessary fragments sleep,
+  so the governor prefers to wait until a full batch of frames is both
+  buffered by the network and admissible into frame buffers;
+* **progress** — it never plans a wake in the past.
+
+With ``batch_size=1`` and the per-slot call times of the baseline, the
+same machinery degrades to the paper's frame-by-frame decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DecoderConfig, SchemeConfig
+from .batching import NetworkModel
+
+#: Safety factor applied to the worst frame-type cycle count when
+#: estimating how long the next frame could take to decode.
+_DECODE_ESTIMATE_SAFETY = 1.6
+
+
+@dataclass(frozen=True)
+class GovernorPlan:
+    """One wake decision."""
+
+    wake_time: float
+    reason: str  # 'deadline' | 'batch-ready' | 'immediate'
+
+
+class RaceToSleepGovernor:
+    """Wake-time planning for a given scheme."""
+
+    def __init__(self, scheme: SchemeConfig, decoder: DecoderConfig,
+                 network: NetworkModel, frame_interval: float,
+                 display_lead: int) -> None:
+        self.scheme = scheme
+        self.decoder = decoder
+        self.network = network
+        self.frame_interval = frame_interval
+        self.display_lead = display_lead
+
+    # -- timing primitives -------------------------------------------------
+
+    def call_time(self, frame_index: int) -> float:
+        """Baseline per-frame VD invocation time (Fig. 1b step 2)."""
+        return frame_index * self.frame_interval
+
+    def deadline(self, frame_index: int) -> float:
+        """When the display will ask for ``frame_index``."""
+        return (frame_index + self.display_lead) * self.frame_interval
+
+    def conservative_decode_time(self) -> float:
+        """Pessimistic single-frame decode estimate for safety margins."""
+        worst_cycles = (self.decoder.base_cycles
+                        + self.decoder.cycles_per_frame_i
+                        * _DECODE_ESTIMATE_SAFETY)
+        freq = self.decoder.frequency(self.scheme.racing)
+        return worst_cycles / freq
+
+    def latest_safe_start(self, frame_index: int) -> float:
+        """Decode of ``frame_index`` must start by this time."""
+        wake_margin = self.decoder.power_states.s3_wake_latency
+        return (self.deadline(frame_index)
+                - self.conservative_decode_time() - wake_margin)
+
+    # -- wake planning ------------------------------------------------------
+
+    def plan_wake(self, now: float, next_frame: int,
+                  batch_buffers_free_time: float) -> GovernorPlan:
+        """Choose when to wake for the batch starting at ``next_frame``.
+
+        ``batch_buffers_free_time`` is when enough frame-buffer slots
+        will have drained for a full batch (computed by the pipeline
+        from the display schedule).
+        """
+        if self.scheme.batch_size == 1:
+            wake = max(now, self.call_time(next_frame))
+            return GovernorPlan(wake, "immediate")
+        last_of_batch = next_frame + self.scheme.batch_size - 1
+        batch_ready = max(
+            self.network.time_when_available(last_of_batch + 1),
+            batch_buffers_free_time,
+        )
+        safe = self.latest_safe_start(next_frame)
+        wake = max(now, min(batch_ready, safe))
+        reason = "deadline" if safe < batch_ready else "batch-ready"
+        return GovernorPlan(wake, reason)

@@ -1,0 +1,170 @@
+"""Viewing sessions: playlists, pauses, seeks, and rebuffering.
+
+The paper evaluates continuous playback of single clips; a real viewing
+session strings clips together, pauses (the decoder sleeps deep while
+the display keeps repeating the frozen frame), and seeks (the streaming
+buffer flushes and must re-fill before playback resumes).  This module
+composes :func:`repro.simulate` runs into such a session and accounts
+for the inter-segment states:
+
+* **pause** — VD in S3, memory background on, display scanning the
+  frozen frame out of the frame buffer every refresh;
+* **rebuffer** (after a seek or at a cold start) — same electrical
+  state as a pause, plus user-visible stall time while the network
+  re-fills the pre-roll.
+
+The session-level result aggregates energy, drops, and stall time —
+the three axes a streaming vendor actually balances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..config import SchemeConfig, SimulationConfig
+from .pipeline import simulate
+from .results import RunResult
+
+
+@dataclass(frozen=True)
+class Play:
+    """Play ``n_frames`` of a source (a profile or trace)."""
+
+    source: object
+    n_frames: Optional[int] = None
+    seek: bool = False  # a seek precedes this segment: flush + rebuffer
+
+
+@dataclass(frozen=True)
+class Pause:
+    """The viewer pauses for ``duration`` seconds."""
+
+    duration: float
+
+
+SessionEvent = Union[Play, Pause]
+
+
+@dataclass
+class SessionResult:
+    """Aggregated outcome of one viewing session."""
+
+    playback_energy: float = 0.0
+    pause_energy: float = 0.0
+    rebuffer_energy: float = 0.0
+    playback_seconds: float = 0.0
+    pause_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    drops: int = 0
+    segments: List[RunResult] = field(default_factory=list)
+
+    @property
+    def total_energy(self) -> float:
+        return (self.playback_energy + self.pause_energy
+                + self.rebuffer_energy)
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.playback_seconds + self.pause_seconds
+                + self.stall_seconds)
+
+    @property
+    def average_power(self) -> float:
+        return (self.total_energy / self.total_seconds
+                if self.total_seconds else 0.0)
+
+
+#: Self-refresh DRAM power, as a fraction of active background power.
+_SELF_REFRESH_FRACTION = 0.12
+
+
+class SessionSimulator:
+    """Runs a list of session events under one scheme.
+
+    ``panel_self_refresh=True`` models a PSR-capable display (the
+    hybrid frame-buffer direction of the paper's display-optimization
+    related work): during a pause the panel serves the frozen frame
+    from its own buffer, the DC stops scanning DRAM, and the DRAM can
+    drop into self-refresh.
+    """
+
+    def __init__(self, scheme: SchemeConfig,
+                 config: Optional[SimulationConfig] = None,
+                 seed: int = 0, panel_self_refresh: bool = False) -> None:
+        self.scheme = scheme
+        self.config = config or SimulationConfig()
+        self.seed = seed
+        self.panel_self_refresh = panel_self_refresh
+
+    # -- idle-state power -------------------------------------------------------
+
+    def _frozen_frame_power(self) -> float:
+        """System power while displaying a frozen frame.
+
+        Without PSR: DC panel power + memory background + VD deep
+        sleep, plus the dynamic memory cost of re-scanning the frame
+        every refresh (the display cannot cache a whole frame).  With
+        PSR the rescan traffic disappears and the DRAM self-refreshes.
+        """
+        cfg = self.config
+        video, dram = cfg.video, cfg.dram
+        if self.panel_self_refresh:
+            return (cfg.display.power
+                    + dram.background_power * _SELF_REFRESH_FRACTION
+                    + cfg.decoder.power_states.s3_power)
+        scale = video.scale_to_native
+        lines = video.frame_bytes / dram.line_bytes
+        rows = video.frame_bytes / dram.row_bytes
+        per_refresh = (lines * dram.burst_energy
+                       + rows * dram.act_pre_energy) * scale
+        return (cfg.display.power
+                + dram.background_power
+                + cfg.decoder.power_states.s3_power
+                + per_refresh * cfg.display.refresh_hz)
+
+    def _rebuffer_seconds(self) -> float:
+        """Stall until the pre-roll refills after a flush."""
+        network = self.config.network
+        chunk_frames = max(1, round(network.chunk_interval
+                                    * self.config.video.fps))
+        chunks_needed = -(-network.preroll_frames // chunk_frames)
+        return chunks_needed * network.chunk_interval
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, events: Sequence[SessionEvent]) -> SessionResult:
+        """Simulate the whole session."""
+        result = SessionResult()
+        idle_power = self._frozen_frame_power()
+        segment_seed = self.seed
+        for event in events:
+            if isinstance(event, Pause):
+                result.pause_seconds += event.duration
+                result.pause_energy += event.duration * idle_power
+                continue
+            if not isinstance(event, Play):
+                raise TypeError(f"unknown session event: {event!r}")
+            if event.seek or not result.segments:
+                stall = self._rebuffer_seconds()
+                result.stall_seconds += stall
+                result.rebuffer_energy += stall * idle_power
+            run = simulate(event.source, self.scheme,
+                           n_frames=event.n_frames, config=self.config,
+                           seed=segment_seed)
+            segment_seed += 1
+            result.segments.append(run)
+            result.playback_energy += run.energy.total
+            result.playback_seconds += run.elapsed
+            result.drops += run.drops
+        return result
+
+
+def simulate_session(events: Sequence[SessionEvent], scheme: SchemeConfig,
+                     config: Optional[SimulationConfig] = None,
+                     seed: int = 0,
+                     panel_self_refresh: bool = False) -> SessionResult:
+    """Convenience wrapper around :class:`SessionSimulator`."""
+    simulator = SessionSimulator(scheme, config, seed,
+                                 panel_self_refresh=panel_self_refresh)
+    return simulator.run(events)

@@ -1,0 +1,278 @@
+"""VD write path: content caching engine (paper Sec. 4).
+
+For every decoded block the engine computes a digest (of the block or
+of its gradient form), consults the MACH ring, and either
+
+* stores the block (no match) — appending its bytes to the frame's
+  compacted data region and inserting the digest into the current
+  frame's MACH, or
+* records a 4-byte pointer (intra match, or inter match in POINTER
+  layout), or
+* records the digest itself (inter match in POINTER_DIGEST layout),
+  to be resolved by the display's MACH buffer.
+
+The engine also emits the frame's line-granular write traffic
+(coalesced or not) and the frozen MACH dump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..compression.dcc import compressed_sizes
+from ..config import MachConfig, SchemeConfig, VideoConfig
+from ..hashing.crc import crc16_blocks, crc32_blocks
+from ..hashing.digest import get_scheme
+from ..video.frame import DecodedFrame
+from .coalesce import sequential_lines, uncoalesced_stream_lines
+from .gradient import to_gradient
+from .layout import FrameLayout, LayoutMode, RecordKind
+from .mach import FrozenMach, MachRing, MatchKind
+
+_DUMP_ENTRY_BYTES = 8  # digest (4) + pointer (4)
+
+
+@dataclass(frozen=True)
+class FrameMatches:
+    """Per-frame census of MACH outcomes."""
+
+    intra: int
+    inter: int
+    none: int
+
+    @property
+    def total(self) -> int:
+        return self.intra + self.inter + self.none
+
+    @property
+    def match_rate(self) -> float:
+        return (self.intra + self.inter) / self.total if self.total else 0.0
+
+
+@dataclass
+class WritebackResult:
+    """Everything one frame's writeback produced."""
+
+    layout: FrameLayout
+    write_lines: np.ndarray  # line addresses in write order
+    matches: FrameMatches
+    dump: Optional[FrozenMach]
+    bytes_written: int
+
+
+def slot_bytes_needed(video: VideoConfig, mach: MachConfig,
+                      scheme: SchemeConfig) -> int:
+    """Worst-case bytes one frame can occupy in its buffer slot."""
+    n = video.blocks_per_frame
+    size = video.frame_bytes  # all blocks stored, uncompacted
+    if scheme.uses_mach:
+        size += n * mach.pointer_bytes + (n + 7) // 8  # table + bitmap
+        if scheme.content_cache == "gab":
+            size += n * mach.base_bytes
+        size += mach.entries_per_mach * _DUMP_ENTRY_BYTES
+    return size
+
+
+class WritebackEngine:
+    """Stateful per-video write path for one scheme."""
+
+    def __init__(self, video: VideoConfig, mach: MachConfig,
+                 scheme: SchemeConfig, line_bytes: int = 64,
+                 unbounded_mach: bool = False) -> None:
+        self.video = video
+        self.mach_config = mach
+        self.scheme = scheme
+        self.line_bytes = line_bytes
+        self.ring: Optional[MachRing] = (
+            MachRing(mach, unbounded=unbounded_mach)
+            if scheme.uses_mach else None)
+        self._scheme_obj = get_scheme(mach.digest_scheme)
+        self._use_gradient = scheme.content_cache == "gab"
+        self._digest_layout = (LayoutMode.POINTER_DIGEST
+                               if scheme.display_caching else LayoutMode.POINTER)
+
+    # -- public API -----------------------------------------------------------
+
+    def process_frame(self, frame: DecodedFrame,
+                      slot_base: int) -> WritebackResult:
+        """Write one decoded frame into its buffer slot."""
+        if self.ring is None:
+            return self._process_raw(frame, slot_base)
+        return self._process_mach(frame, slot_base)
+
+    @property
+    def stats(self):
+        """Aggregate MACH statistics (None for raw schemes)."""
+        return self.ring.stats if self.ring is not None else None
+
+    # -- raw / DCC path ---------------------------------------------------------
+
+    def _process_raw(self, frame: DecodedFrame,
+                     slot_base: int) -> WritebackResult:
+        n = frame.n_blocks
+        if self.scheme.dcc:
+            sizes = compressed_sizes(frame.blocks)
+            offsets = np.concatenate(
+                [[0], np.cumsum(sizes[:-1], dtype=np.int64)])
+            data_bytes = int(sizes.sum())
+        else:
+            offsets = np.arange(n, dtype=np.int64) * frame.block_bytes
+            data_bytes = frame.decoded_bytes
+        pointers = slot_base + offsets
+        layout = FrameLayout(
+            frame_index=frame.index,
+            mode=LayoutMode.RAW,
+            n_blocks=n,
+            block_bytes=frame.block_bytes,
+            kinds=np.zeros(n, dtype=np.uint8),
+            pointers=pointers,
+            digests=np.zeros(n, dtype=np.uint64),
+            bases_present=False,
+            table_base=slot_base,
+            bases_base=slot_base,
+            data_base=slot_base,
+            data_bytes=data_bytes,
+            dump_base=slot_base + data_bytes,
+            dump_bytes=0,
+        )
+        write_lines = sequential_lines(slot_base, data_bytes, self.line_bytes)
+        matches = FrameMatches(intra=0, inter=0, none=n)
+        return WritebackResult(layout, write_lines, matches, None, data_bytes)
+
+    # -- MACH path ---------------------------------------------------------------
+
+    def _digest_frame(self, frame: DecodedFrame):
+        """Digests (+CRC16 aux where available) for every block."""
+        if self._use_gradient:
+            tag_input, _ = to_gradient(frame.blocks)
+        else:
+            tag_input = frame.blocks
+        name = self.mach_config.digest_scheme
+        if name in ("crc32", "crc48"):
+            tags = crc32_blocks(tag_input).astype(np.int64)
+            aux = crc16_blocks(tag_input).astype(np.int64)
+        else:
+            tags = self._scheme_obj.digest_blocks(tag_input).astype(np.int64)
+            aux = np.zeros(len(tags), dtype=np.int64)
+        return tags, aux
+
+    def _process_mach(self, frame: DecodedFrame,
+                      slot_base: int) -> WritebackResult:
+        assert self.ring is not None
+        ring = self.ring
+        n = frame.n_blocks
+        block_bytes = frame.block_bytes
+        mach = self.mach_config
+
+        tags, aux = self._digest_frame(frame)
+        if self.scheme.dcc:
+            dcc_sizes = compressed_sizes(
+                to_gradient(frame.blocks)[0] if self._use_gradient
+                else frame.blocks)
+        else:
+            dcc_sizes = None
+
+        table_bytes = n * mach.pointer_bytes
+        if self._digest_layout is LayoutMode.POINTER_DIGEST:
+            table_bytes += (n + 7) // 8
+        bases_bytes = n * mach.base_bytes if self._use_gradient else 0
+        table_base = slot_base
+        bases_base = table_base + table_bytes
+        data_base = bases_base + bases_bytes
+
+        kinds = np.empty(n, dtype=np.uint8)
+        pointers = np.empty(n, dtype=np.int64)
+        digests_out = np.zeros(n, dtype=np.uint64)
+
+        before = (ring.stats.intra, ring.stats.inter, ring.stats.none)
+        ring.begin_frame(frame.index)
+        cursor = data_base
+        digest_mode = self._digest_layout is LayoutMode.POINTER_DIGEST
+        for i in range(n):
+            digest = int(tags[i])
+            kind, address = ring.lookup(digest, int(aux[i]))
+            ring.stats.record(kind, digest)
+            if kind is MatchKind.NONE:
+                kinds[i] = int(RecordKind.STORED)
+                pointers[i] = cursor
+                ring.insert(digest, cursor, int(aux[i]))
+                cursor += (int(dcc_sizes[i]) if dcc_sizes is not None
+                           else block_bytes)
+            elif kind is MatchKind.INTRA or not digest_mode:
+                kinds[i] = int(RecordKind.POINTER)
+                pointers[i] = address
+            else:
+                kinds[i] = int(RecordKind.DIGEST)
+                pointers[i] = address  # kept for MACH-buffer miss fallback
+                digests_out[i] = digest
+            # Only stored (unique) blocks enter the frame's MACH —
+            # "the decoder only needs to write the unique content and
+            # the pointers" (Sec. 1).  Recurring content therefore keeps
+            # matching in *older* frames' MACHs (inter), which is what
+            # makes the digest-indexed share of Fig. 10d large.
+        dump = ring.end_frame()
+        after = (ring.stats.intra, ring.stats.inter, ring.stats.none)
+        matches = FrameMatches(
+            intra=after[0] - before[0],
+            inter=after[1] - before[1],
+            none=after[2] - before[2],
+        )
+
+        data_bytes = cursor - data_base
+        dump_base = data_base + data_bytes
+        dump_bytes = dump.entries * _DUMP_ENTRY_BYTES
+        layout = FrameLayout(
+            frame_index=frame.index,
+            mode=self._digest_layout,
+            n_blocks=n,
+            block_bytes=block_bytes,
+            kinds=kinds,
+            pointers=pointers,
+            digests=digests_out,
+            bases_present=self._use_gradient,
+            table_base=table_base,
+            bases_base=bases_base,
+            data_base=data_base,
+            data_bytes=data_bytes,
+            dump_base=dump_base,
+            dump_bytes=dump_bytes,
+            pointer_bytes=mach.pointer_bytes,
+            base_bytes=mach.base_bytes,
+        )
+        write_lines = self._write_lines(layout)
+        return WritebackResult(layout, write_lines, matches, dump,
+                               layout.total_bytes)
+
+    def _write_lines(self, layout: FrameLayout) -> np.ndarray:
+        """Line-granular write addresses for the whole frame."""
+        line = self.line_bytes
+        if self.mach_config.coalescing:
+            parts = [
+                sequential_lines(layout.table_base, layout.table_bytes, line),
+                sequential_lines(layout.bases_base, layout.bases_bytes, line),
+                sequential_lines(layout.data_base, layout.data_bytes, line),
+                sequential_lines(layout.dump_base, layout.dump_bytes, line),
+            ]
+            return np.concatenate(parts)
+        # Uncoalesced ablation: one line write per pointer/base, and one
+        # (or two, straddling) per stored block.
+        stored = layout.mask(RecordKind.STORED)
+        parts = [
+            uncoalesced_stream_lines(
+                layout.table_base, layout.pointer_bytes, layout.n_blocks, line),
+            uncoalesced_stream_lines(
+                layout.bases_base, layout.base_bytes,
+                layout.n_blocks if layout.bases_present else 0, line),
+        ]
+        stored_addrs = layout.pointers[stored]
+        if len(stored_addrs):
+            first = (stored_addrs // line) * line
+            last = ((stored_addrs + layout.block_bytes - 1) // line) * line
+            parts.append(first)
+            parts.append(last[last != first])
+        parts.append(
+            sequential_lines(layout.dump_base, layout.dump_bytes, line))
+        return np.concatenate(parts)

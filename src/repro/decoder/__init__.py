@@ -1,0 +1,18 @@
+"""Hardware video decoder (VD): timing, power states, and traffic."""
+
+from .power import PowerState, PowerTracker, SleepDecision, plan_slack
+from .timing import decode_cycles, decode_time
+from .vd import VideoDecoder
+from .vdcache import CacheStudyResult, vd_cache_study
+
+__all__ = [
+    "PowerState",
+    "PowerTracker",
+    "SleepDecision",
+    "plan_slack",
+    "decode_cycles",
+    "decode_time",
+    "VideoDecoder",
+    "CacheStudyResult",
+    "vd_cache_study",
+]

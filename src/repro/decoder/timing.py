@@ -1,0 +1,36 @@
+"""Per-frame decode-work model.
+
+Decode cycles scale with the block count, the frame type (I frames
+reconstruct every block from intra prediction and carry the densest
+coefficients), and the frame's complexity multiplier from the stream
+generator.  Constants are calibrated so the 150 MHz frame-time CDF
+reproduces the paper's Fig. 2b region mix; see DESIGN.md section 5.
+"""
+
+from __future__ import annotations
+
+from ..config import DecoderConfig
+from ..video.frame import DecodedFrame, FrameType
+
+_CYCLE_FIELD = {
+    FrameType.I: "cycles_per_frame_i",
+    FrameType.P: "cycles_per_frame_p",
+    FrameType.B: "cycles_per_frame_b",
+}
+
+
+def decode_cycles(frame: DecodedFrame, config: DecoderConfig) -> float:
+    """VD cycles needed to decode ``frame``.
+
+    The cycle model is per-frame (calibrated against the 4K stream the
+    paper decodes), so the scaled simulation resolution changes traffic
+    volume but never frame timing.
+    """
+    per_frame = getattr(config, _CYCLE_FIELD[frame.frame_type])
+    return config.base_cycles + per_frame * frame.complexity
+
+
+def decode_time(frame: DecodedFrame, config: DecoderConfig,
+                racing: bool) -> float:
+    """Seconds to decode ``frame`` at the scheme's VD frequency."""
+    return decode_cycles(frame, config) / config.frequency(racing)

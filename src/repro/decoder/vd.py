@@ -1,0 +1,114 @@
+"""Video decoder facade: timing plus read-side memory traffic.
+
+The VD touches memory three ways while decoding a frame (Fig. 1b):
+
+1. it streams the *encoded* frame out of the network buffer (step 3);
+2. motion compensation re-reads *reference* pixels from previously
+   decoded frame buffers (step 4) — mostly absorbed by the VD's
+   conventional cache;
+3. it writes the decoded frame back (step 6) — produced by the
+   content-caching write engine in :mod:`repro.core.writeback`, not
+   here.
+
+This module generates the timestamped line accesses for (1) and (2),
+spread uniformly over the decode window, which is what the DRAM
+row-buffer model needs to see realistic interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import DecoderConfig, VideoConfig
+from ..video.frame import DecodedFrame, FrameType
+from .timing import decode_time
+
+
+@dataclass(frozen=True)
+class ReadTraffic:
+    """Line-granular read accesses within one decode window."""
+
+    times: np.ndarray
+    addresses: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return len(self.times)
+
+
+class VideoDecoder:
+    """Stateless helper bound to the decoder and video configuration."""
+
+    def __init__(self, decoder: DecoderConfig, video: VideoConfig,
+                 line_bytes: int = 64) -> None:
+        self.decoder = decoder
+        self.video = video
+        self.line_bytes = line_bytes
+
+    def decode_duration(self, frame: DecodedFrame, racing: bool) -> float:
+        """Seconds the VD is busy with ``frame``."""
+        return decode_time(frame, self.decoder, racing)
+
+    def encoded_lines(self, frame: DecodedFrame) -> int:
+        """Lines of encoded bitstream the VD streams in.
+
+        The simulation stores content at a scaled resolution, so the
+        encoded size (modelled at native 4K) is scaled down to keep all
+        traffic streams in the same units.
+        """
+        scaled_bytes = frame.encoded_bytes / self.video.scale_to_native
+        return max(1, int(round(scaled_bytes / self.line_bytes)))
+
+    def reference_lines(self, frame: DecodedFrame) -> int:
+        """Reference-read lines that *miss* the conventional VD cache."""
+        if frame.frame_type is FrameType.I:
+            return 0
+        frame_lines = self.video.frame_bytes // self.line_bytes
+        misses = (frame_lines * self.decoder.ref_read_fraction
+                  * (1.0 - self.decoder.ref_cache_hit_rate))
+        return int(round(misses))
+
+    def read_traffic(
+        self,
+        frame: DecodedFrame,
+        start: float,
+        finish: float,
+        encoded_base: int,
+        reference_base: Optional[int],
+        rng: np.random.Generator,
+    ) -> ReadTraffic:
+        """Encoded-stream and reference reads for one decode window.
+
+        Encoded reads are sequential from ``encoded_base``; reference
+        reads are short sequential runs at random offsets inside the
+        reference frame buffer (motion-compensation windows).  Both are
+        interleaved uniformly in time across ``[start, finish]``.
+        """
+        enc_n = self.encoded_lines(frame)
+        enc_addrs = encoded_base + np.arange(enc_n, dtype=np.int64) * self.line_bytes
+
+        ref_n = self.reference_lines(frame) if reference_base is not None else 0
+        if ref_n:
+            run = 8  # lines per motion-compensation window
+            frame_lines = self.video.frame_bytes // self.line_bytes
+            n_runs = -(-ref_n // run)  # ceil: last run is clipped below
+            starts = rng.integers(0, max(1, frame_lines - run), size=n_runs)
+            offsets = (starts[:, None] + np.arange(run)[None, :]).ravel()[:ref_n]
+            ref_addrs = reference_base + offsets.astype(np.int64) * self.line_bytes
+        else:
+            ref_addrs = np.empty(0, dtype=np.int64)
+
+        addresses = np.concatenate([enc_addrs, ref_addrs])
+        # Interleave the two streams over the decode window with
+        # randomized arrivals (order preserved within each stream), so
+        # their bank sweeps do not phase-lock against other agents.
+        times = np.empty(len(addresses), dtype=np.float64)
+        times[:enc_n] = np.sort(rng.uniform(start, finish, size=enc_n))
+        if len(ref_addrs):
+            times[enc_n:] = np.sort(
+                rng.uniform(start, finish, size=len(ref_addrs)))
+        return ReadTraffic(times=times, addresses=addresses)
+

@@ -1,0 +1,17 @@
+"""Display subsystem: frame buffers, vsync controller, display cache,
+and the DC-side MACH buffer."""
+
+from .controller import DisplayController, DisplayStats
+from .display_cache import DisplayCache, simulate_direct_mapped
+from .framebuffer import FrameBufferPool, FrameBufferSlot
+from .mach_buffer import MachBuffer
+
+__all__ = [
+    "DisplayController",
+    "DisplayStats",
+    "DisplayCache",
+    "simulate_direct_mapped",
+    "FrameBufferPool",
+    "FrameBufferSlot",
+    "MachBuffer",
+]

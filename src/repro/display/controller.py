@@ -1,0 +1,61 @@
+"""Display controller: the 60 Hz vsync clock and frame-drop detection.
+
+The DC checks the frame buffer at every refresh; if the next frame is
+present it scans it out over the active portion of the refresh
+interval, otherwise it re-scans the previous frame and records a drop
+(paper Sec. 2.1, "Displaying").  The actual read *traffic* of a scan is
+produced by :mod:`repro.core.readpath`; this class owns the clock and
+the bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..config import DisplayConfig
+
+
+@dataclass
+class DisplayStats:
+    """Outcome counters for a playback run."""
+
+    frames_shown: int = 0
+    drops: int = 0
+    dropped_frames: List[int] = field(default_factory=list)
+
+    @property
+    def refreshes(self) -> int:
+        return self.frames_shown + self.drops
+
+    @property
+    def drop_rate(self) -> float:
+        return self.drops / self.refreshes if self.refreshes else 0.0
+
+
+class DisplayController:
+    """Vsync scheduling plus drop accounting."""
+
+    def __init__(self, config: DisplayConfig, scan_duty: float = 0.85,
+                 start_offset: float = 0.0) -> None:
+        self.config = config
+        self.scan_duty = scan_duty
+        self.start_offset = start_offset
+        self.stats = DisplayStats()
+
+    def vsync_time(self, slot: int) -> float:
+        """When refresh ``slot`` begins (frame ``slot`` is needed)."""
+        return self.start_offset + slot * self.config.refresh_interval
+
+    def scan_window(self, slot: int) -> Tuple[float, float]:
+        """The (start, end) of the active scan within refresh ``slot``."""
+        start = self.vsync_time(slot)
+        return start, start + self.config.refresh_interval * self.scan_duty
+
+    def record_refresh(self, frame_index: int, ready: bool) -> None:
+        """Log whether ``frame_index`` made its refresh."""
+        if ready:
+            self.stats.frames_shown += 1
+        else:
+            self.stats.drops += 1
+            self.stats.dropped_frames.append(frame_index)

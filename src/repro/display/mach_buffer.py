@@ -1,0 +1,117 @@
+"""The DC-side MACH buffer (paper Sec. 5.1, Fig. 10b).
+
+When a frame finishes decoding its MACH is dumped to memory; the DC
+uses those dumps to serve *digest*-indexed block records without
+re-reading the blocks from the frame buffers.  The buffer holds up to
+``capacity`` digest-tagged blocks (the paper picks 2 K entries = 96 KB)
+and evicts oldest-first when over capacity — the knob Fig. 12b sweeps.
+
+Two fill policies:
+
+* **lazy** (default) — a digest is fetched into the buffer on first
+  use; the miss costs the DC one dump-translation read plus the block
+  fetch.  Subsequent uses (same frame or later frames) hit.
+* **eager** — each frame's whole dump is prefetched before the scan,
+  as the paper describes; every dumped entry costs one block fetch up
+  front and digest lookups then always hit while resident.
+
+Both policies are exercised by the display benchmarks; lazy is the
+default because at the scaled simulation resolution an eager prefetch
+of a full dump is disproportionately large relative to a frame (see
+DESIGN.md section 2 on metadata scale effects).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class MachBuffer:
+    """Digest-indexed block store with FIFO capacity eviction."""
+
+    def __init__(self, capacity_entries: int, policy: str = "lazy") -> None:
+        if capacity_entries < 1:
+            raise ConfigError("MACH buffer needs at least one entry")
+        if policy not in ("lazy", "eager"):
+            raise ConfigError(f"unknown fill policy {policy!r}")
+        self.capacity = capacity_entries
+        self.policy = policy
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.installed = 0
+        self.evicted = 0
+
+    # -- filling -----------------------------------------------------------
+
+    def install(self, digests: np.ndarray) -> int:
+        """Insert digests (deduplicated); returns how many were new."""
+        new = 0
+        for digest in np.asarray(digests, dtype=np.uint64):
+            key = int(digest)
+            if key in self._resident:
+                self._resident.move_to_end(key)
+            else:
+                self._resident[key] = None
+                new += 1
+        self.installed += new
+        while len(self._resident) > self.capacity:
+            self._resident.popitem(last=False)
+            self.evicted += 1
+        return new
+
+    def prefetch_dump(self, digests: np.ndarray) -> int:
+        """Eager policy: load one frame's dump; returns entries fetched."""
+        return self.install(digests)
+
+    # -- lookups ------------------------------------------------------------
+
+    def process_frame(self, digests: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Serve one frame's digest-indexed records in scan order.
+
+        Returns (hit mask, unique missed digests).  Under the lazy
+        policy, the first use of a non-resident digest misses and
+        installs it, so its later occurrences in the same frame hit —
+        which the vectorized form computes without a Python loop over
+        every record.
+        """
+        digests = np.asarray(digests, dtype=np.uint64)
+        n = len(digests)
+        if n == 0:
+            return np.zeros(0, dtype=bool), np.empty(0, dtype=np.uint64)
+        if not self._resident:
+            resident_array = np.empty(0, dtype=np.uint64)
+        else:
+            resident_array = np.fromiter(
+                self._resident.keys(), dtype=np.uint64,
+                count=len(self._resident))
+        uniques, first_index, inverse = np.unique(
+            digests, return_index=True, return_inverse=True)
+        resident_unique = np.isin(uniques, resident_array)
+        if self.policy == "eager":
+            hits = resident_unique[inverse]
+            missed = uniques[~resident_unique]
+        else:
+            is_first_use = np.arange(n) == first_index[inverse]
+            hits = resident_unique[inverse] | ~is_first_use
+            missed = uniques[~resident_unique]
+            self.install(missed)
+        self.hits += int(hits.sum())
+        self.misses += int((~hits).sum())
+        return hits, missed
+
+    # -- metrics -------------------------------------------------------------
+
+    @property
+    def resident_entries(self) -> int:
+        return len(self._resident)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

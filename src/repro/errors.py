@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch simulator problems without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro simulator."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class GeometryError(ReproError):
+    """Frame/block geometry does not divide evenly or mismatches."""
+
+
+class CacheError(ReproError):
+    """Invalid cache parameterization (non-power-of-two sets, etc.)."""
+
+
+class MemoryModelError(ReproError):
+    """Invalid DRAM parameterization or address out of range."""
+
+
+class SchedulingError(ReproError):
+    """The frame scheduler was driven into an impossible state."""
+
+
+class CodecError(ReproError):
+    """Encoding/decoding failed or produced inconsistent structures."""
+
+
+class LayoutError(ReproError):
+    """A frame-buffer layout record is malformed."""

@@ -1,0 +1,25 @@
+"""Digest generation for MACH tags (CRC32/CRC16/MD5/SHA1)."""
+
+from .crc import (
+    CRC16_POLY,
+    CRC32_POLY,
+    crc16,
+    crc16_blocks,
+    crc32,
+    crc32_bitwise,
+    crc32_blocks,
+)
+from .digest import DigestScheme, available_schemes, get_scheme
+
+__all__ = [
+    "CRC16_POLY",
+    "CRC32_POLY",
+    "crc16",
+    "crc16_blocks",
+    "crc32",
+    "crc32_bitwise",
+    "crc32_blocks",
+    "DigestScheme",
+    "available_schemes",
+    "get_scheme",
+]

@@ -1,0 +1,133 @@
+"""Digest schemes for MACH tags, and the paper's hash comparison.
+
+The paper tags each 48-byte mab/gab with a 4-byte digest.  CRC32 is the
+default; Fig. 12d compares it against MD5 and SHA1 (truncated to 32
+bits) and finds no meaningful difference, with roughly one colliding
+block in ~200 frames.  Sec. 6.3 then adds a CRC16 auxiliary field
+("deep hashing") that detects CRC32 collisions and spills the colliding
+entries into a CO-MACH.
+
+A deliberately *weak* scheme (additive checksum) is included so that
+tests and the sensitivity bench can demonstrate what a bad digest does
+to the collision rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .crc import crc16_blocks, crc32_blocks
+
+
+@dataclass(frozen=True)
+class DigestScheme:
+    """A way of turning an ``(n, k)`` uint8 block array into n tags.
+
+    ``digest_blocks`` returns a uint64 array so that deep (48-bit)
+    digests fit; plain 32-bit schemes use the low 32 bits.
+    """
+
+    name: str
+    bits: int
+    digest_blocks: Callable[[np.ndarray], np.ndarray]
+
+    def digest_one(self, block: np.ndarray) -> int:
+        """Digest a single flat uint8 block."""
+        return int(self.digest_blocks(block.reshape(1, -1))[0])
+
+
+def _crc32_scheme(blocks: np.ndarray) -> np.ndarray:
+    return crc32_blocks(blocks).astype(np.uint64)
+
+
+def _crc48_scheme(blocks: np.ndarray) -> np.ndarray:
+    """CRC32 || CRC16 concatenation — the paper's deep-hash tag."""
+    low = crc32_blocks(blocks).astype(np.uint64)
+    high = crc16_blocks(blocks).astype(np.uint64)
+    return (high << np.uint64(32)) | low
+
+
+def _hashlib_scheme(algorithm: str) -> Callable[[np.ndarray], np.ndarray]:
+    def digest_blocks(blocks: np.ndarray) -> np.ndarray:
+        out = np.empty(blocks.shape[0], dtype=np.uint64)
+        contiguous = np.ascontiguousarray(blocks)
+        for i in range(contiguous.shape[0]):
+            raw = hashlib.new(algorithm, contiguous[i].tobytes()).digest()
+            out[i] = int.from_bytes(raw[:4], "little")
+        return out
+
+    return digest_blocks
+
+
+def _weak_sum_scheme(blocks: np.ndarray) -> np.ndarray:
+    """Additive checksum: collides for any permutation of the bytes."""
+    return blocks.astype(np.uint64).sum(axis=1) & np.uint64(0xFFFFFFFF)
+
+
+_SCHEMES: Dict[str, DigestScheme] = {
+    "crc32": DigestScheme("crc32", 32, _crc32_scheme),
+    "crc48": DigestScheme("crc48", 48, _crc48_scheme),
+    "md5": DigestScheme("md5", 32, _hashlib_scheme("md5")),
+    "sha1": DigestScheme("sha1", 32, _hashlib_scheme("sha1")),
+    "weak-sum": DigestScheme("weak-sum", 32, _weak_sum_scheme),
+}
+
+
+def get_scheme(name: str) -> DigestScheme:
+    """Look up a digest scheme by name (raises ConfigError if unknown)."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown digest scheme {name!r}; known: {sorted(_SCHEMES)}"
+        ) from None
+
+
+def available_schemes() -> Tuple[str, ...]:
+    """Names of all registered digest schemes."""
+    return tuple(sorted(_SCHEMES))
+
+
+class CollisionTracker:
+    """Counts digest collisions against ground-truth block contents.
+
+    A *collision* is two blocks with equal digests but different bytes.
+    The tracker keeps one representative block content per digest value
+    (as compact bytes), which is exact and small because the number of
+    distinct digests seen per run is bounded by the content diversity.
+    """
+
+    def __init__(self) -> None:
+        self._seen: Dict[int, bytes] = {}
+        self.collisions = 0
+        self.lookups = 0
+
+    def observe(self, digest: int, block_bytes: bytes) -> bool:
+        """Record one block; returns True if it collided."""
+        self.lookups += 1
+        existing = self._seen.get(digest)
+        if existing is None:
+            self._seen[digest] = block_bytes
+            return False
+        if existing != block_bytes:
+            self.collisions += 1
+            return True
+        return False
+
+    def observe_frame(self, digests: np.ndarray, blocks: np.ndarray) -> int:
+        """Record every block of a frame; returns collisions found."""
+        found = 0
+        contiguous = np.ascontiguousarray(blocks)
+        for i in range(contiguous.shape[0]):
+            if self.observe(int(digests[i]), contiguous[i].tobytes()):
+                found += 1
+        return found
+
+    @property
+    def collision_rate(self) -> float:
+        return self.collisions / self.lookups if self.lookups else 0.0

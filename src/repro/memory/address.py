@@ -1,0 +1,125 @@
+"""Physical address mapping (RoRaBaCoCh) and the region map.
+
+The paper's memory controller interleaves addresses as Row : Rank :
+Bank : Column : Channel, MSB to LSB (Table 2).  With the channel in the
+lowest bits above the line offset, consecutive cache lines alternate
+channels; with columns below the bank bits, a sequential stream sweeps
+an entire row before moving to the next bank — the streaming-friendly
+layout whose row locality Race-to-Sleep exploits (Fig. 5a).
+
+:class:`RegionMap` carves the physical space into the buffers the video
+pipeline uses (encoded stream, frame-buffer pool, MACH dumps, other
+agents) so that traffic generators can produce concrete line addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..config import DramConfig
+from ..errors import MemoryModelError
+
+
+def _log2(value: int, name: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise MemoryModelError(f"{name} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+class AddressMapper:
+    """Vectorized byte-address -> (global bank, row) translation."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self._line_bits = _log2(config.line_bytes, "line_bytes")
+        self._channel_bits = _log2(config.channels, "channels")
+        self._column_bits = _log2(config.lines_per_row, "lines_per_row")
+        self._bank_bits = _log2(config.banks_per_rank, "banks_per_rank")
+        self._rank_bits = _log2(config.ranks_per_channel, "ranks_per_channel")
+
+    def map_lines(self, addresses: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Map byte addresses to (global_bank, row) arrays.
+
+        The global bank id folds channel, rank, and bank into one
+        integer in ``[0, total_banks)`` so downstream code can treat
+        banks uniformly.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        lines = addresses >> self._line_bits
+        channel = lines & (self.config.channels - 1)
+        rest = lines >> self._channel_bits
+        rest = rest >> self._column_bits  # column bits do not change the bank
+        bank = rest & (self.config.banks_per_rank - 1)
+        rest >>= self._bank_bits
+        rank = rest & (self.config.ranks_per_channel - 1)
+        row = rest >> self._rank_bits
+        global_bank = (
+            (rank * self.config.channels + channel) * self.config.banks_per_rank
+            + bank
+        )
+        return global_bank, row
+
+    def map_line(self, address: int) -> Tuple[int, int]:
+        """Scalar convenience wrapper around :meth:`map_lines`."""
+        banks, rows = self.map_lines(np.asarray([address], dtype=np.int64))
+        return int(banks[0]), int(rows[0])
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, contiguous chunk of physical address space."""
+
+    name: str
+    base: int
+    size: int
+
+    def address(self, offset: int) -> int:
+        if not 0 <= offset < self.size:
+            raise MemoryModelError(
+                f"offset {offset:#x} outside region {self.name!r} "
+                f"of size {self.size:#x}")
+        return self.base + offset
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class RegionMap:
+    """The video pipeline's memory layout.
+
+    Regions are placed back to back starting at zero, padded to row
+    boundaries so that different agents never share a DRAM row (they do
+    still share *banks*, which is where interleaving thrash comes from).
+    """
+
+    def __init__(self, config: DramConfig) -> None:
+        self._config = config
+        self._regions: Dict[str, Region] = {}
+        self._cursor = 0
+
+    def add(self, name: str, size: int) -> Region:
+        if name in self._regions:
+            raise MemoryModelError(f"region {name!r} already defined")
+        row = self._config.row_bytes * self._config.channels
+        padded = (size + row - 1) // row * row
+        region = Region(name, self._cursor, padded)
+        self._regions[name] = region
+        self._cursor += padded
+        return region
+
+    def __getitem__(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise MemoryModelError(f"unknown region {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    @property
+    def total_size(self) -> int:
+        return self._cursor

@@ -1,0 +1,157 @@
+"""Vectorized memory controller.
+
+Consumes timestamped line-granular accesses from all agents (VD writes
+and reads, DC reads, background masters), merges them in time, and
+plays them against the per-bank open-row-with-timeout model to count
+activations and bursts.  Bank state persists across calls, so the
+pipeline can feed one window (e.g. one frame interval) at a time.
+
+The whole computation is numpy: accesses are lex-sorted by (bank,
+time); within each bank's run an access hits iff the previous access in
+that bank touched the same row within the timeout.  Only the first
+access of each bank run consults the carried-over bank state (at most
+``total_banks`` scalar checks per window).  Equivalence with the scalar
+:class:`~repro.memory.rowbuffer.RowBufferModel` is asserted in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..config import DramConfig
+from ..errors import MemoryModelError
+from .address import AddressMapper
+from .rowbuffer import BankState
+
+
+@dataclass
+class AccessStats:
+    """Aggregate DRAM activity counters."""
+
+    activations: int = 0
+    read_bursts: int = 0
+    write_bursts: int = 0
+    by_agent: Dict[str, int] = field(default_factory=dict)
+    acts_by_agent: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def bursts(self) -> int:
+        return self.read_bursts + self.write_bursts
+
+    @property
+    def row_hit_rate(self) -> float:
+        if not self.bursts:
+            return 0.0
+        return 1.0 - self.activations / self.bursts
+
+    def merge(self, other: "AccessStats") -> "AccessStats":
+        merged_agents = dict(self.by_agent)
+        for agent, count in other.by_agent.items():
+            merged_agents[agent] = merged_agents.get(agent, 0) + count
+        merged_acts = dict(self.acts_by_agent)
+        for agent, count in other.acts_by_agent.items():
+            merged_acts[agent] = merged_acts.get(agent, 0) + count
+        return AccessStats(
+            activations=self.activations + other.activations,
+            read_bursts=self.read_bursts + other.read_bursts,
+            write_bursts=self.write_bursts + other.write_bursts,
+            by_agent=merged_agents,
+            acts_by_agent=merged_acts,
+        )
+
+
+class MemoryController:
+    """Stateful controller accumulating :class:`AccessStats`."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self.mapper = AddressMapper(config)
+        self.stats = AccessStats()
+        self._banks = [BankState() for _ in range(config.total_banks)]
+
+    def process_window(
+        self,
+        times: np.ndarray,
+        addresses: np.ndarray,
+        is_write: np.ndarray,
+        agents: Dict[str, np.ndarray] | None = None,
+    ) -> int:
+        """Process one time window of accesses; returns activations added.
+
+        Args:
+            times: seconds, one per access (any order).
+            addresses: byte addresses, line-aligned not required.
+            is_write: boolean per access.
+            agents: optional {agent name -> boolean mask} used only for
+                per-agent burst attribution in the stats.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        addresses = np.asarray(addresses, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        if not (len(times) == len(addresses) == len(is_write)):
+            raise MemoryModelError("access arrays must have equal length")
+        if len(times) == 0:
+            return 0
+
+        banks, rows = self.mapper.map_lines(addresses)
+        if self.config.scheduler_quantum > 0:
+            # FR-FCFS batching: within one scheduling quantum on one
+            # bank, row hits are served together (row-hit-first).
+            quanta = (times / self.config.scheduler_quantum).astype(np.int64)
+            order = np.lexsort((times, rows, quanta, banks))
+        else:
+            order = np.lexsort((times, banks))
+        sorted_banks = banks[order]
+        sorted_rows = rows[order]
+        sorted_times = times[order]
+
+        same_bank = np.empty(len(order), dtype=bool)
+        same_bank[0] = False
+        same_bank[1:] = sorted_banks[1:] == sorted_banks[:-1]
+
+        prev_rows = np.roll(sorted_rows, 1)
+        prev_times = np.roll(sorted_times, 1)
+        within_window = (sorted_times - prev_times) <= self.config.row_max_open
+        hits = same_bank & (sorted_rows == prev_rows) & within_window
+
+        # Run boundaries consult the persistent bank state.
+        run_starts = np.flatnonzero(~same_bank)
+        for start in run_starts:
+            bank_state = self._banks[int(sorted_banks[start])]
+            hits[start] = not bank_state.access(
+                int(sorted_rows[start]),
+                float(sorted_times[start]),
+                self.config.row_max_open,
+            )
+        # Update persisted state with each bank run's final access.
+        run_ends = np.append(run_starts[1:] - 1, len(order) - 1)
+        for end in run_ends:
+            bank_state = self._banks[int(sorted_banks[end])]
+            bank_state.open_row = int(sorted_rows[end])
+            bank_state.last_access = float(sorted_times[end])
+
+        activations = int((~hits).sum())
+        self.stats.activations += activations
+        writes = int(is_write.sum())
+        self.stats.write_bursts += writes
+        self.stats.read_bursts += len(times) - writes
+        if agents:
+            # Attribute each activation to the agent whose access
+            # triggered it (un-sort the hit mask back to arrival order).
+            acts_in_order = np.empty(len(order), dtype=bool)
+            acts_in_order[order] = ~hits
+            for name, mask in agents.items():
+                mask = np.asarray(mask, dtype=bool)
+                self.stats.by_agent[name] = (
+                    self.stats.by_agent.get(name, 0) + int(mask.sum()))
+                self.stats.acts_by_agent[name] = (
+                    self.stats.acts_by_agent.get(name, 0)
+                    + int(acts_in_order[mask].sum()))
+        return activations
+
+    def reset(self) -> None:
+        self.stats = AccessStats()
+        self._banks = [BankState() for _ in range(self.config.total_banks)]

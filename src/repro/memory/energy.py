@@ -1,0 +1,55 @@
+"""Memory energy integration.
+
+Three components, following the paper's Fig. 11 split:
+
+* **Act/Pre** — per activate+precharge pair (the component racing
+  shrinks, Fig. 5b);
+* **burst** — per 64-byte data transfer;
+* **background** — standby/refresh power integrated over wall time.
+
+The per-event constants are calibrated in :class:`repro.config.DramConfig`
+(see DESIGN.md section 5); the *counts* come from the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DramConfig
+from .controller import AccessStats
+
+
+@dataclass(frozen=True)
+class MemoryEnergy:
+    """Joules spent in each memory component over a run."""
+
+    act_pre: float
+    burst: float
+    background: float
+
+    @property
+    def total(self) -> float:
+        return self.act_pre + self.burst + self.background
+
+    @property
+    def dynamic(self) -> float:
+        """The traffic-dependent part (what MACH can save)."""
+        return self.act_pre + self.burst
+
+    def scaled(self, factor: float) -> "MemoryEnergy":
+        """Rescale the dynamic parts (e.g. sim resolution -> 4K)."""
+        return MemoryEnergy(
+            act_pre=self.act_pre * factor,
+            burst=self.burst * factor,
+            background=self.background,
+        )
+
+
+def memory_energy(config: DramConfig, stats: AccessStats,
+                  elapsed: float) -> MemoryEnergy:
+    """Energy for ``stats`` worth of traffic over ``elapsed`` seconds."""
+    return MemoryEnergy(
+        act_pre=stats.activations * config.act_pre_energy,
+        burst=stats.bursts * config.burst_energy,
+        background=config.background_power * elapsed,
+    )

@@ -1,0 +1,57 @@
+"""Scalar per-bank row-buffer state machine.
+
+This is the reference model for the open-page-with-timeout policy; the
+memory controller uses a vectorized equivalent (validated against this
+one in tests).  A bank access activates a row unless the same row is
+already open *and* was last touched within ``row_max_open`` seconds —
+the controller force-precharges idle rows after that window to avoid
+starving other requestors (paper Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DramConfig
+
+
+@dataclass
+class BankState:
+    """One bank: currently open row and the time it was last accessed."""
+
+    open_row: int = -1
+    last_access: float = float("-inf")
+
+    def access(self, row: int, time: float, max_open: float) -> bool:
+        """Process an access; returns True if it required an activate."""
+        hit = (
+            row == self.open_row
+            and (time - self.last_access) <= max_open
+        )
+        self.open_row = row
+        self.last_access = time
+        return not hit
+
+
+class RowBufferModel:
+    """All banks of the device, for scalar/reference simulation."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self.banks = [BankState() for _ in range(config.total_banks)]
+        self.activations = 0
+        self.accesses = 0
+
+    def access(self, bank: int, row: int, time: float) -> bool:
+        """Access (bank, row) at ``time``; returns True on activation."""
+        activated = self.banks[bank].access(
+            row, time, self.config.row_max_open)
+        self.activations += int(activated)
+        self.accesses += 1
+        return activated
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return 1.0 - self.activations / self.accesses

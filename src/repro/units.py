@@ -1,0 +1,94 @@
+"""Unit constants and helpers used throughout the simulator.
+
+The simulator's canonical units are:
+
+* time    — seconds (float)
+* energy  — joules (float)
+* power   — watts (float)
+* size    — bytes (int)
+* rate    — hertz (float)
+
+These helpers exist so that configuration values can be written in the
+units the paper uses (milliseconds, millijoules, milliwatts, kilobytes)
+without sprinkling magic ``1e-3`` factors through the code.
+"""
+
+from __future__ import annotations
+
+# --- time -------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+SECOND = 1.0
+
+# --- power / energy ---------------------------------------------------
+MW = 1e-3
+W = 1.0
+UJ = 1e-6
+MJ = 1e-3
+J = 1.0
+
+# --- size -------------------------------------------------------------
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+# --- frequency --------------------------------------------------------
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NS
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * US
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MS
+
+
+def mw(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * MW
+
+
+def mj(value: float) -> float:
+    """Convert millijoules to joules."""
+    return value * MJ
+
+
+def kib(value: float) -> int:
+    """Convert kibibytes to bytes."""
+    return int(value * KIB)
+
+
+def mib(value: float) -> int:
+    """Convert mebibytes to bytes."""
+    return int(value * MIB)
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * MHZ
+
+
+def to_ms(seconds: float) -> float:
+    """Express a duration in milliseconds (for reports)."""
+    return seconds / MS
+
+
+def to_mj(joules: float) -> float:
+    """Express an energy in millijoules (for reports)."""
+    return joules / MJ
+
+
+def to_mib(nbytes: float) -> float:
+    """Express a size in mebibytes (for reports)."""
+    return nbytes / MIB

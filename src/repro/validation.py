@@ -1,0 +1,195 @@
+"""Conformance suite: check this build against the paper's claims.
+
+Encodes the paper's quantitative and qualitative claims as runnable
+checks, each returning a :class:`ClaimCheck` with the measured value,
+the paper's value, and a tolerance band.  ``repro validate`` runs them
+from the command line; benchmarks assert a superset of these, but this
+module is the compact, user-facing summary ("does my checkout still
+reproduce the paper?").
+
+Checks run on a small deterministic workload set, so the whole suite
+finishes in about a minute at the default frame count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .analysis import content_census, region_mix, Region
+from .config import (
+    BASELINE,
+    BATCHING,
+    FIG11_SCHEMES,
+    GAB,
+    MAB,
+    RACE_TO_SLEEP,
+    RACING,
+    SimulationConfig,
+)
+from .core.pipeline import simulate
+from .core.results import RunResult
+from .decoder.power import PowerState
+from .video import SyntheticVideo, workload
+
+#: Videos used by the validation suite (spanning the content classes).
+_VIDEOS = ("V1", "V3", "V8", "V9", "V14")
+
+
+@dataclass
+class ClaimCheck:
+    """One paper claim, measured."""
+
+    claim: str
+    paper: str
+    measured: float
+    passed: bool
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return (f"[{mark}] {self.claim}: measured {self.measured:.3f} "
+                f"(paper: {self.paper})")
+
+
+class _Runs:
+    """Lazily memoized simulation runs shared by the checks."""
+
+    def __init__(self, frames: int, seed: int,
+                 config: Optional[SimulationConfig]) -> None:
+        self.frames = frames
+        self.seed = seed
+        self.config = config or SimulationConfig()
+        self._cache: Dict[tuple, RunResult] = {}
+
+    def get(self, video: str, scheme) -> RunResult:
+        key = (video, scheme.name)
+        if key not in self._cache:
+            self._cache[key] = simulate(workload(video), scheme,
+                                        n_frames=self.frames,
+                                        seed=self.seed, config=self.config)
+        return self._cache[key]
+
+    def normalized(self, scheme) -> float:
+        values = []
+        for video in _VIDEOS:
+            base = self.get(video, BASELINE).energy.total
+            values.append(self.get(video, scheme).energy.total / base)
+        return float(np.mean(values))
+
+
+def validate_against_paper(
+    frames: int = 96,
+    seed: int = 7,
+    config: Optional[SimulationConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ClaimCheck]:
+    """Run every claim check; returns the list of results."""
+    runs = _Runs(frames, seed, config)
+    cfg = runs.config
+    checks: List[ClaimCheck] = []
+
+    def report(name: str) -> None:
+        if progress is not None:
+            progress(name)
+
+    def add(claim: str, paper: str, measured: float, ok: bool) -> None:
+        checks.append(ClaimCheck(claim, paper, float(measured), bool(ok)))
+
+    # --- Fig. 2b: baseline regions and drops -----------------------------
+    report("regions")
+    mixes = np.zeros(4)
+    drop = 0.0
+    for video in _VIDEOS:
+        base = runs.get(video, BASELINE)
+        mix = region_mix(base.timeline.decode_time,
+                         cfg.video.frame_interval,
+                         cfg.decoder.power_states)
+        mixes += [mix[r] for r in Region]
+        drop += base.drop_rate
+    mixes /= len(_VIDEOS)
+    drop /= len(_VIDEOS)
+    add("baseline frame-drop rate", "~0.04", drop, 0.005 < drop < 0.10)
+    add("region III+IV share (sleep-capable frames)", ">=0.7",
+        mixes[2] + mixes[3], mixes[2] + mixes[3] >= 0.65)
+
+    # --- Fig. 7b: content census -------------------------------------------
+    report("census")
+    intra = inter = none = 0.0
+    for video in _VIDEOS:
+        stream = SyntheticVideo(cfg.video, workload(video), seed=seed,
+                                n_frames=min(frames, 64))
+        census = content_census(stream)
+        intra += census.intra_fraction / len(_VIDEOS)
+        inter += census.inter_fraction / len(_VIDEOS)
+        none += census.none_fraction / len(_VIDEOS)
+    add("census: blocks matching (intra+inter)", "~0.57", intra + inter,
+        0.45 < intra + inter < 0.70)
+    add("census: no-match share", "~0.43", none, 0.30 < none < 0.55)
+
+    # --- Race-to-Sleep behaviours --------------------------------------------
+    report("race-to-sleep")
+    rts_drops = sum(runs.get(v, RACE_TO_SLEEP).drops for v in _VIDEOS)
+    add("Race-to-Sleep frame drops", "0", rts_drops, rts_drops == 0)
+    s3 = float(np.mean([runs.get(v, RACE_TO_SLEEP)
+                        .residency[PowerState.S3] for v in _VIDEOS]))
+    add("Race-to-Sleep deep-sleep residency", "~0.60", s3, 0.45 < s3 < 0.75)
+    trans_cut = float(np.mean(
+        [1 - runs.get(v, BATCHING).energy.transition
+         / max(runs.get(v, BASELINE).energy.transition, 1e-12)
+         for v in _VIDEOS]))
+    add("batching transition-energy cut", "~0.86", trans_cut,
+        trans_cut > 0.7)
+    act_cut = float(np.mean(
+        [1 - runs.get(v, RACING).activations
+         / runs.get(v, BASELINE).activations for v in _VIDEOS]))
+    add("racing Act/Pre cut", "~0.20", act_cut, 0.05 < act_cut < 0.45)
+
+    # --- MACH savings ------------------------------------------------------------
+    report("mach")
+    gab_wr = float(np.mean([runs.get(v, GAB).write_savings
+                            for v in _VIDEOS]))
+    mab_wr = float(np.mean([runs.get(v, MAB).write_savings
+                            for v in _VIDEOS]))
+    add("gab write-traffic savings", "~0.34", gab_wr, 0.2 < gab_wr < 0.5)
+    add("mab write-traffic savings", "~0.13", mab_wr,
+        -0.05 < mab_wr < gab_wr)
+    gab_rd = float(np.mean([runs.get(v, GAB).read_savings
+                            for v in _VIDEOS]))
+    add("gab display read savings", "~0.335", gab_rd, 0.15 < gab_rd < 0.5)
+    dig = float(np.mean([runs.get(v, GAB).read_stats.digest_fraction
+                         for v in _VIDEOS]))
+    add("digest-indexed record share", "~0.38", dig, 0.2 < dig < 0.55)
+
+    # --- Fig. 11 ordering ---------------------------------------------------------
+    report("fig11")
+    normalized = {s.name: runs.normalized(s) for s in FIG11_SCHEMES}
+    add("Racing-alone energy (normalized)", ">1.0 (~1.12)",
+        normalized["Racing"], normalized["Racing"] > 1.0)
+    add("Race-to-Sleep energy (normalized)", "~0.887",
+        normalized["Race-to-Sleep"],
+        0.85 < normalized["Race-to-Sleep"] < 0.97)
+    add("MAB energy (normalized)", "~0.875", normalized["MAB"],
+        0.80 < normalized["MAB"] < 0.95)
+    add("GAB energy (normalized)", "~0.79", normalized["GAB"],
+        0.72 < normalized["GAB"] < 0.90)
+    gab_best = all(
+        runs.get(v, GAB).energy.total
+        == min(runs.get(v, s).energy.total for s in FIG11_SCHEMES)
+        for v in _VIDEOS)
+    add("GAB best on every video", "yes", float(gab_best), gab_best)
+    v9 = ("V9" in _VIDEOS
+          and runs.get("V9", MAB).energy.total
+          > runs.get("V9", RACE_TO_SLEEP).energy.total)
+    add("V9 MAB regression (MAB worse than RtS)", "yes", float(v9), v9)
+
+    return checks
+
+
+def summarize(checks: List[ClaimCheck]) -> str:
+    """Human-readable report plus a verdict line."""
+    lines = [str(check) for check in checks]
+    passed = sum(check.passed for check in checks)
+    lines.append(f"\n{passed}/{len(checks)} claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Video substrate: frames, macroblocks, synthesis, and a block codec."""
+
+from .block import block_bases, join_blocks, split_blocks
+from .color import luma, rgb_to_ycbcr, ycbcr_to_rgb
+from .frame import DecodedFrame, FrameType
+from .gop import gop_frame_types
+from .synthesis import SyntheticVideo, VideoProfile
+from .trace import FrameTrace
+from .workloads import PAPER_WORKLOADS, workload, workload_keys
+
+__all__ = [
+    "block_bases",
+    "join_blocks",
+    "split_blocks",
+    "luma",
+    "rgb_to_ycbcr",
+    "ycbcr_to_rgb",
+    "DecodedFrame",
+    "FrameType",
+    "gop_frame_types",
+    "SyntheticVideo",
+    "VideoProfile",
+    "FrameTrace",
+    "PAPER_WORKLOADS",
+    "workload",
+    "workload_keys",
+]

@@ -1,0 +1,58 @@
+"""Vectorized macroblock (mab) grid operations.
+
+A decoded frame is a ``(height, width, 3)`` uint8 image; the simulator
+works on its ``(n_blocks, block_bytes)`` matrix form, where each row is
+one ``b x b`` RGB block flattened in pixel-raster order (the paper's
+4x4 blocks flatten to 48 bytes).  Blocks are ordered in frame-raster
+order, matching the sequential write pattern of a real decoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+
+
+def split_blocks(image: np.ndarray, block_size: int) -> np.ndarray:
+    """Split an ``(H, W, 3)`` image into an ``(n, b*b*3)`` block matrix."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise GeometryError(f"expected (H, W, 3) image, got {image.shape}")
+    height, width, _ = image.shape
+    if height % block_size or width % block_size:
+        raise GeometryError(
+            f"{height}x{width} does not divide into {block_size}px blocks")
+    rows = height // block_size
+    cols = width // block_size
+    # (rows, b, cols, b, 3) -> (rows, cols, b, b, 3) -> flatten blocks
+    tiled = image.reshape(rows, block_size, cols, block_size, 3)
+    tiled = tiled.transpose(0, 2, 1, 3, 4)
+    return np.ascontiguousarray(
+        tiled.reshape(rows * cols, block_size * block_size * 3))
+
+
+def join_blocks(blocks: np.ndarray, width: int, height: int,
+                block_size: int) -> np.ndarray:
+    """Inverse of :func:`split_blocks`: block matrix -> (H, W, 3) image."""
+    blocks = np.asarray(blocks)
+    rows = height // block_size
+    cols = width // block_size
+    if height % block_size or width % block_size:
+        raise GeometryError(
+            f"{height}x{width} does not divide into {block_size}px blocks")
+    if blocks.shape != (rows * cols, block_size * block_size * 3):
+        raise GeometryError(
+            f"block matrix shape {blocks.shape} does not match "
+            f"{width}x{height}/{block_size}")
+    tiled = blocks.reshape(rows, cols, block_size, block_size, 3)
+    tiled = tiled.transpose(0, 2, 1, 3, 4)
+    return np.ascontiguousarray(tiled.reshape(height, width, 3))
+
+
+def block_bases(blocks: np.ndarray) -> np.ndarray:
+    """First (top-left) pixel of every block: the gab base (n, 3)."""
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 2 or blocks.shape[1] % 3:
+        raise GeometryError(f"expected (n, 3k) block matrix, got {blocks.shape}")
+    return blocks[:, :3].copy()

@@ -1,0 +1,32 @@
+"""A small functional block codec (DCT + quant + Exp-Golomb + motion).
+
+The paper derives decode-work and macroblock traces from FFmpeg; this
+package provides the equivalent substrate: a real (if compact) hybrid
+video codec with I/P frames, 8x8 transforms, and diamond-search motion
+estimation.  It round-trips bit-exactly against its own reconstruction
+and is exercised by tests and the trace-generation example.
+"""
+
+from .bframes import (
+    SequencedFrame,
+    SequenceDecoder,
+    SequenceEncoder,
+    decode_sequence,
+    encode_sequence,
+)
+from .decoder import Decoder
+from .encoder import EncodedFrame, Encoder
+from .motion import diamond_search, motion_compensate
+
+__all__ = [
+    "SequencedFrame",
+    "SequenceDecoder",
+    "SequenceEncoder",
+    "decode_sequence",
+    "encode_sequence",
+    "Decoder",
+    "EncodedFrame",
+    "Encoder",
+    "diamond_search",
+    "motion_compensate",
+]

@@ -1,0 +1,288 @@
+"""Bidirectional (B-frame) coding on top of the block codec.
+
+The paper's footnote 1: "B/P frames consist of all types (I/P/B) mabs
+and have references to the previous/next I/P frames".  This module adds
+that structure: a :class:`SequenceEncoder` buffers frames into
+mini-GOPs ``anchor, B..B, anchor``, encodes the trailing anchor first
+(coding order differs from display order), then predicts each B
+macroblock from the past anchor, the future anchor, or their average —
+whichever wins — falling back to intra coding.
+
+A :class:`SequenceDecoder` mirrors the bitstream exactly; round trips
+are bit-exact against the encoder's own reconstruction, like the base
+codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import CodecError
+from ..frame import FrameType
+from .decoder import Decoder
+from .encoder import MACROBLOCK, EncodedFrame, Encoder, _clip_to_u8
+from .entropy import BitReader, BitWriter, decode_coefficients
+from .motion import diamond_search, motion_compensate
+from .quant import dequantize, quant_table
+from .zigzag import unzigzag
+
+_B_MAGIC = 2  # frame-type code for B in the stream header
+
+_MODE_SKIP = 0
+_MODE_FWD = 1
+_MODE_BWD = 2
+_MODE_BI = 3
+_MODE_INTRA = 4
+
+
+@dataclass
+class SequencedFrame:
+    """One encoded frame plus its position in display order."""
+
+    display_index: int
+    encoded: EncodedFrame
+
+
+class SequenceEncoder:
+    """Encoder producing I/P/B mini-GOP streams in coding order.
+
+    Args:
+        quality: quantizer quality in [1, 100].
+        gop_length: distance between I frames (in display order).
+        b_frames: B frames between consecutive anchors (0 = plain I/P).
+        search_range: motion search window in pixels.
+    """
+
+    def __init__(self, quality: int = 60, gop_length: int = 12,
+                 b_frames: int = 2, search_range: int = 7) -> None:
+        if b_frames < 0:
+            raise CodecError("b_frames must be non-negative")
+        self.quality = quality
+        self.b_frames = b_frames
+        self._anchor_encoder = Encoder(quality=quality,
+                                       gop_length=max(
+                                           1, gop_length // (b_frames + 1)),
+                                       search_range=search_range)
+        self.search_range = search_range
+        self._table = quant_table(quality)
+        self._pending: List[Tuple[int, np.ndarray]] = []
+        self._previous_anchor: Optional[np.ndarray] = None
+        self._display_index = 0
+
+    # -- public API --------------------------------------------------------
+
+    def push(self, image: np.ndarray) -> List[SequencedFrame]:
+        """Feed one display-order frame; returns frames ready to emit.
+
+        Output order is coding order: the future anchor precedes the B
+        frames that reference it.
+        """
+        index = self._display_index
+        self._display_index += 1
+        self._pending.append((index, np.asarray(image)))
+        if len(self._pending) < self.b_frames + 1 and (
+                self._previous_anchor is not None):
+            return []
+        return self._emit_minigop()
+
+    def flush(self) -> List[SequencedFrame]:
+        """Emit whatever is buffered (trailing frames become anchors)."""
+        emitted: List[SequencedFrame] = []
+        while self._pending:
+            emitted.extend(self._emit_minigop(force=True))
+        return emitted
+
+    # -- internals ---------------------------------------------------------------
+
+    def _emit_minigop(self, force: bool = False) -> List[SequencedFrame]:
+        if not self._pending:
+            return []
+        if self._previous_anchor is None:
+            # The very first frame is always an anchor.
+            index, image = self._pending.pop(0)
+            encoded = self._anchor_encoder.encode_frame(image)
+            self._previous_anchor = self._anchor_encoder.reference
+            return [SequencedFrame(index, encoded)]
+        if not force and len(self._pending) < self.b_frames + 1:
+            return []
+        # The last buffered frame becomes the anchor; the rest are Bs.
+        *b_inputs, (anchor_index, anchor_image) = self._pending
+        self._pending = []
+        past = self._previous_anchor
+        assert past is not None
+        anchor_encoded = self._anchor_encoder.encode_frame(anchor_image)
+        future = self._anchor_encoder.reference
+        assert future is not None
+        emitted = [SequencedFrame(anchor_index, anchor_encoded)]
+        for index, image in b_inputs:
+            emitted.append(SequencedFrame(
+                index, self._encode_b(image, past, future)))
+        self._previous_anchor = future
+        return emitted
+
+    def _encode_b(self, image: np.ndarray, past: np.ndarray,
+                  future: np.ndarray) -> EncodedFrame:
+        image = np.asarray(image)
+        if image.shape != past.shape:
+            raise CodecError("B frame geometry mismatch with references")
+        height, width = image.shape
+        writer = BitWriter()
+        writer.write_ue(_B_MAGIC)
+        writer.write_ue(width // MACROBLOCK)
+        writer.write_ue(height // MACROBLOCK)
+        writer.write_ue(self.quality)
+        intra = inter = skip = 0
+        for top in range(0, height, MACROBLOCK):
+            for left in range(0, width, MACROBLOCK):
+                block = image[top:top + MACROBLOCK, left:left + MACROBLOCK]
+                mode, mvs, predictor = self._choose_b_mode(
+                    block, past, future, top, left)
+                if mode == _MODE_SKIP:
+                    writer.write_ue(_MODE_SKIP)
+                    skip += 1
+                    continue
+                writer.write_ue(mode)
+                if mode in (_MODE_FWD, _MODE_BI):
+                    writer.write_se(mvs[0][0])
+                    writer.write_se(mvs[0][1])
+                if mode in (_MODE_BWD, _MODE_BI):
+                    writer.write_se(mvs[1][0])
+                    writer.write_se(mvs[1][1])
+                if mode == _MODE_INTRA:
+                    residual = block.astype(np.float64) - 128.0
+                    intra += 1
+                else:
+                    residual = (block.astype(np.float64)
+                                - predictor.astype(np.float64))
+                    inter += 1
+                self._anchor_encoder._code_residual(writer, residual)
+        return EncodedFrame(FrameType.B, writer.getvalue(), width, height,
+                            writer.bit_length, intra, inter, skip)
+
+    def _choose_b_mode(self, block, past, future, top, left):
+        """Pick the cheapest predictor for one macroblock."""
+        fwd_mv = diamond_search(past, block, top, left, self.search_range)
+        bwd_mv = diamond_search(future, block, top, left, self.search_range)
+        fwd = motion_compensate(past, top, left, fwd_mv, MACROBLOCK)
+        bwd = motion_compensate(future, top, left, bwd_mv, MACROBLOCK)
+        bi = ((fwd.astype(np.uint16) + bwd.astype(np.uint16) + 1)
+              // 2).astype(np.uint8)
+
+        def sad(predictor):
+            return int(np.abs(block.astype(np.int32)
+                              - predictor.astype(np.int32)).sum())
+
+        candidates = [
+            (_MODE_FWD, (fwd_mv, None), fwd, sad(fwd)),
+            (_MODE_BWD, (None, bwd_mv), bwd, sad(bwd)),
+            (_MODE_BI, (fwd_mv, bwd_mv), bi, sad(bi)),
+        ]
+        mode, mvs, predictor, cost = min(candidates, key=lambda c: c[3])
+        if cost == 0 and mode == _MODE_FWD and fwd_mv == (0, 0):
+            return _MODE_SKIP, (None, None), fwd
+        intra_cost = int(np.abs(block.astype(np.int32)
+                                - int(block.mean())).sum())
+        if intra_cost < cost:
+            return _MODE_INTRA, (None, None), None
+        return mode, mvs, predictor
+
+
+class SequenceDecoder:
+    """Decoder for :class:`SequenceEncoder` streams (coding order in,
+    display order out via :meth:`reorder`)."""
+
+    def __init__(self) -> None:
+        self._anchor_decoder = Decoder()
+        self._past: Optional[np.ndarray] = None
+        self._future: Optional[np.ndarray] = None
+
+    def decode(self, encoded: EncodedFrame) -> np.ndarray:
+        """Decode one coding-order frame to pixels."""
+        if encoded.frame_type is FrameType.B:
+            if self._past is None or self._future is None:
+                raise CodecError("B frame arrived without two anchors")
+            return self._decode_b(encoded.data)
+        image = self._anchor_decoder.decode_frame(encoded.data)
+        self._past, self._future = self._future, image
+        return image
+
+    def _decode_b(self, data: bytes) -> np.ndarray:
+        assert self._past is not None and self._future is not None
+        reader = BitReader(data)
+        if reader.read_ue() != _B_MAGIC:
+            raise CodecError("not a B-frame bitstream")
+        width = reader.read_ue() * MACROBLOCK
+        height = reader.read_ue() * MACROBLOCK
+        table = quant_table(reader.read_ue())
+        image = np.empty((height, width), dtype=np.uint8)
+        for top in range(0, height, MACROBLOCK):
+            for left in range(0, width, MACROBLOCK):
+                image[top:top + MACROBLOCK, left:left + MACROBLOCK] = (
+                    self._decode_b_macroblock(reader, table, top, left))
+        return image
+
+    def _decode_b_macroblock(self, reader, table, top, left):
+        past, future = self._past, self._future
+        mode = reader.read_ue()
+        if mode == _MODE_SKIP:
+            return motion_compensate(past, top, left, (0, 0), MACROBLOCK)
+        fwd_mv = bwd_mv = None
+        if mode in (_MODE_FWD, _MODE_BI):
+            fwd_mv = (reader.read_se(), reader.read_se())
+        if mode in (_MODE_BWD, _MODE_BI):
+            bwd_mv = (reader.read_se(), reader.read_se())
+        if mode == _MODE_FWD:
+            predictor = motion_compensate(past, top, left, fwd_mv,
+                                          MACROBLOCK).astype(np.float64)
+        elif mode == _MODE_BWD:
+            predictor = motion_compensate(future, top, left, bwd_mv,
+                                          MACROBLOCK).astype(np.float64)
+        elif mode == _MODE_BI:
+            fwd = motion_compensate(past, top, left, fwd_mv, MACROBLOCK)
+            bwd = motion_compensate(future, top, left, bwd_mv, MACROBLOCK)
+            predictor = ((fwd.astype(np.uint16) + bwd.astype(np.uint16) + 1)
+                         // 2).astype(np.float64)
+        elif mode == _MODE_INTRA:
+            predictor = np.full((MACROBLOCK, MACROBLOCK), 128.0)
+        else:
+            raise CodecError(f"unknown B macroblock mode {mode}")
+        residual = self._read_residual(reader, table)
+        return _clip_to_u8(predictor + residual)
+
+    @staticmethod
+    def _read_residual(reader, table):
+        from .dct import idct2
+        recon = np.empty((MACROBLOCK, MACROBLOCK), dtype=np.float64)
+        size = 8
+        for top in range(0, MACROBLOCK, size):
+            for left in range(0, MACROBLOCK, size):
+                vector = decode_coefficients(reader, size * size)
+                recon[top:top + size, left:left + size] = idct2(
+                    dequantize(unzigzag(vector, size), table))
+        return recon
+
+
+def encode_sequence(images: Sequence[np.ndarray], quality: int = 60,
+                    gop_length: int = 12,
+                    b_frames: int = 2) -> List[SequencedFrame]:
+    """Encode a whole clip; returns coding-order SequencedFrames."""
+    encoder = SequenceEncoder(quality=quality, gop_length=gop_length,
+                              b_frames=b_frames)
+    out: List[SequencedFrame] = []
+    for image in images:
+        out.extend(encoder.push(image))
+    out.extend(encoder.flush())
+    return out
+
+
+def decode_sequence(frames: Sequence[SequencedFrame]) -> List[np.ndarray]:
+    """Decode a coding-order stream back to display order."""
+    decoder = SequenceDecoder()
+    decoded: List[Tuple[int, np.ndarray]] = []
+    for frame in frames:
+        decoded.append((frame.display_index, decoder.decode(frame.encoded)))
+    decoded.sort(key=lambda pair: pair[0])
+    return [image for _, image in decoded]

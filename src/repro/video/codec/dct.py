@@ -1,0 +1,36 @@
+"""Orthonormal 2-D DCT-II used by the block codec.
+
+The transform is expressed as ``C @ X @ C.T`` with a precomputed basis
+matrix, which is exact, fast for the codec's 8x8 blocks, and trivially
+invertible (``C.T @ Y @ C``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def dct_matrix(n: int) -> np.ndarray:
+    """The orthonormal DCT-II basis matrix of size ``n``."""
+    k = np.arange(n).reshape(-1, 1)
+    i = np.arange(n).reshape(1, -1)
+    basis = np.cos(np.pi * (2 * i + 1) * k / (2 * n))
+    basis[0] *= 1.0 / np.sqrt(2.0)
+    return basis * np.sqrt(2.0 / n)
+
+
+def dct2(block: np.ndarray) -> np.ndarray:
+    """2-D DCT-II of one or more ``(n, n)`` blocks (batched on axis 0)."""
+    block = np.asarray(block, dtype=np.float64)
+    basis = dct_matrix(block.shape[-1])
+    return basis @ block @ basis.T
+
+
+def idct2(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`dct2`."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    basis = dct_matrix(coeffs.shape[-1])
+    return basis.T @ coeffs @ basis

@@ -1,0 +1,77 @@
+"""The functional decoder matching :mod:`.encoder` bit-exactly."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...errors import CodecError
+from ..frame import FrameType
+from .dct import idct2
+from .encoder import MACROBLOCK, TRANSFORM, _clip_to_u8
+from .entropy import BitReader, decode_coefficients
+from .motion import motion_compensate
+from .quant import dequantize, quant_table
+from .zigzag import unzigzag
+
+_MODE_SKIP = 0
+_MODE_INTER = 1
+_MODE_INTRA = 2
+
+
+class Decoder:
+    """Stateful decoder for the I/P stream produced by :class:`Encoder`."""
+
+    def __init__(self) -> None:
+        self._reference: Optional[np.ndarray] = None
+
+    def decode_frame(self, data: bytes) -> np.ndarray:
+        """Decode one frame; returns the reconstructed uint8 image."""
+        reader = BitReader(data)
+        frame_type = FrameType.I if reader.read_ue() == 0 else FrameType.P
+        width = reader.read_ue() * MACROBLOCK
+        height = reader.read_ue() * MACROBLOCK
+        quality = reader.read_ue()
+        table = quant_table(quality, TRANSFORM)
+        if frame_type is FrameType.P and self._reference is None:
+            raise CodecError("P frame arrived before any I frame")
+        image = np.empty((height, width), dtype=np.uint8)
+        for top in range(0, height, MACROBLOCK):
+            for left in range(0, width, MACROBLOCK):
+                if frame_type is FrameType.I:
+                    recon = self._read_residual(reader, table) + 128.0
+                else:
+                    recon = self._decode_p_macroblock(reader, table, top, left)
+                image[top:top + MACROBLOCK, left:left + MACROBLOCK] = (
+                    recon if recon.dtype == np.uint8 else _clip_to_u8(recon))
+        self._reference = image
+        return image
+
+    def _decode_p_macroblock(self, reader: BitReader, table: np.ndarray,
+                             top: int, left: int) -> np.ndarray:
+        assert self._reference is not None
+        mode = reader.read_ue()
+        if mode == _MODE_SKIP:
+            return motion_compensate(
+                self._reference, top, left, (0, 0), MACROBLOCK).copy()
+        if mode == _MODE_INTRA:
+            return self._read_residual(reader, table) + 128.0
+        if mode == _MODE_INTER:
+            motion = (reader.read_se(), reader.read_se())
+            predictor = motion_compensate(
+                self._reference, top, left, motion, MACROBLOCK)
+            return self._read_residual(reader, table) + predictor.astype(
+                np.float64)
+        raise CodecError(f"unknown macroblock mode {mode}")
+
+    @staticmethod
+    def _read_residual(reader: BitReader, table: np.ndarray) -> np.ndarray:
+        recon = np.empty((MACROBLOCK, MACROBLOCK), dtype=np.float64)
+        for top in range(0, MACROBLOCK, TRANSFORM):
+            for left in range(0, MACROBLOCK, TRANSFORM):
+                vector = decode_coefficients(reader, TRANSFORM * TRANSFORM)
+                levels = unzigzag(vector, TRANSFORM)
+                recon[top:top + TRANSFORM, left:left + TRANSFORM] = idct2(
+                    dequantize(levels, table))
+        return recon

@@ -1,0 +1,196 @@
+"""The block encoder: a compact hybrid (transform + motion) codec.
+
+Structure follows the classic H.26x recipe at reduced scope:
+
+* 16x16 macroblocks, each transformed as four 8x8 DCT blocks;
+* I frames code every macroblock intra (no spatial prediction — the
+  shifted pixels are transformed directly);
+* P frames choose per macroblock between SKIP (copy the reference),
+  INTER (diamond-search motion vector + coded residual), and INTRA;
+* quantized coefficients are Exp-Golomb run/level coded.
+
+The encoder reconstructs exactly what the decoder will, and uses that
+reconstruction as the next reference, so encoder and decoder stay
+bit-identical over arbitrarily long sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ...errors import CodecError
+from ..frame import FrameType
+from .dct import dct2, idct2
+from .entropy import BitWriter, encode_coefficients
+from .motion import diamond_search, motion_compensate
+from .quant import dequantize, quant_table, quantize
+from .zigzag import zigzag
+
+MACROBLOCK = 16
+TRANSFORM = 8
+
+_MODE_SKIP = 0
+_MODE_INTER = 1
+_MODE_INTRA = 2
+
+
+@dataclass
+class EncodedFrame:
+    """One encoded frame plus the statistics the simulator consumes."""
+
+    frame_type: FrameType
+    data: bytes
+    width: int
+    height: int
+    bits: int
+    intra_mabs: int
+    inter_mabs: int
+    skip_mabs: int
+
+    @property
+    def total_mabs(self) -> int:
+        return self.intra_mabs + self.inter_mabs + self.skip_mabs
+
+
+class Encoder:
+    """Stateful encoder producing an I/P stream.
+
+    Args:
+        quality: quantizer quality in [1, 100] (higher = better).
+        gop_length: distance between I frames.
+        search_range: motion search window, in pixels.
+    """
+
+    def __init__(self, quality: int = 60, gop_length: int = 12,
+                 search_range: int = 7) -> None:
+        self.quality = quality
+        self.gop_length = gop_length
+        self.search_range = search_range
+        self._table = quant_table(quality, TRANSFORM)
+        self._reference: Optional[np.ndarray] = None
+        self._frame_index = 0
+
+    def encode_frame(self, image: np.ndarray,
+                     force_type: Optional[FrameType] = None) -> EncodedFrame:
+        """Encode one grayscale ``(H, W)`` uint8 frame."""
+        image = self._check_image(image)
+        frame_type = force_type or self._next_type()
+        if frame_type is FrameType.B:
+            raise CodecError("this codec emits I/P streams only")
+        if frame_type is FrameType.P and self._reference is None:
+            frame_type = FrameType.I
+        if frame_type is FrameType.I:
+            encoded, reconstructed = self._encode_intra(image)
+        else:
+            encoded, reconstructed = self._encode_inter(image)
+        self._reference = reconstructed
+        self._frame_index += 1
+        return encoded
+
+    @property
+    def reference(self) -> Optional[np.ndarray]:
+        """The reconstructed previous frame (what the decoder will hold)."""
+        return None if self._reference is None else self._reference.copy()
+
+    # -- internals ---------------------------------------------------------
+
+    def _next_type(self) -> FrameType:
+        if self._frame_index % self.gop_length == 0:
+            return FrameType.I
+        return FrameType.P
+
+    @staticmethod
+    def _check_image(image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image)
+        if image.ndim != 2 or image.dtype != np.uint8:
+            raise CodecError(
+                f"expected (H, W) uint8 frame, got {image.shape} {image.dtype}")
+        if image.shape[0] % MACROBLOCK or image.shape[1] % MACROBLOCK:
+            raise CodecError(
+                f"frame {image.shape} must divide into {MACROBLOCK}px macroblocks")
+        return image
+
+    def _encode_intra(self, image: np.ndarray):
+        height, width = image.shape
+        writer = BitWriter()
+        self._write_header(writer, FrameType.I, width, height)
+        reconstructed = np.empty_like(image)
+        mabs = 0
+        for top in range(0, height, MACROBLOCK):
+            for left in range(0, width, MACROBLOCK):
+                block = image[top:top + MACROBLOCK, left:left + MACROBLOCK]
+                recon = self._code_residual(writer, block.astype(np.float64) - 128.0)
+                reconstructed[top:top + MACROBLOCK, left:left + MACROBLOCK] = (
+                    _clip_to_u8(recon + 128.0))
+                mabs += 1
+        encoded = EncodedFrame(FrameType.I, writer.getvalue(), width, height,
+                               writer.bit_length, mabs, 0, 0)
+        return encoded, reconstructed
+
+    def _encode_inter(self, image: np.ndarray):
+        assert self._reference is not None
+        reference = self._reference
+        height, width = image.shape
+        writer = BitWriter()
+        self._write_header(writer, FrameType.P, width, height)
+        reconstructed = np.empty_like(image)
+        intra = inter = skip = 0
+        for top in range(0, height, MACROBLOCK):
+            for left in range(0, width, MACROBLOCK):
+                block = image[top:top + MACROBLOCK, left:left + MACROBLOCK]
+                motion = diamond_search(reference, block, top, left,
+                                        self.search_range)
+                predictor = motion_compensate(
+                    reference, top, left, motion, MACROBLOCK)
+                residual = block.astype(np.float64) - predictor.astype(np.float64)
+                sad_inter = float(np.abs(residual).sum())
+                sad_intra = float(
+                    np.abs(block.astype(np.float64) - block.mean()).sum())
+                if sad_inter == 0.0 and motion == (0, 0):
+                    writer.write_ue(_MODE_SKIP)
+                    recon = predictor.astype(np.uint8)
+                    skip += 1
+                elif sad_intra < sad_inter:
+                    writer.write_ue(_MODE_INTRA)
+                    coded = self._code_residual(
+                        writer, block.astype(np.float64) - 128.0)
+                    recon = _clip_to_u8(coded + 128.0)
+                    intra += 1
+                else:
+                    writer.write_ue(_MODE_INTER)
+                    writer.write_se(motion[0])
+                    writer.write_se(motion[1])
+                    coded = self._code_residual(writer, residual)
+                    recon = _clip_to_u8(coded + predictor.astype(np.float64))
+                    inter += 1
+                reconstructed[top:top + MACROBLOCK, left:left + MACROBLOCK] = recon
+        encoded = EncodedFrame(FrameType.P, writer.getvalue(), width, height,
+                               writer.bit_length, intra, inter, skip)
+        return encoded, reconstructed
+
+    def _write_header(self, writer: BitWriter, frame_type: FrameType,
+                      width: int, height: int) -> None:
+        writer.write_ue(0 if frame_type is FrameType.I else 1)
+        writer.write_ue(width // MACROBLOCK)
+        writer.write_ue(height // MACROBLOCK)
+        writer.write_ue(self.quality)
+
+    def _code_residual(self, writer: BitWriter,
+                       residual: np.ndarray) -> np.ndarray:
+        """Transform-code a 16x16 residual; returns its reconstruction."""
+        recon = np.empty_like(residual)
+        for top in range(0, MACROBLOCK, TRANSFORM):
+            for left in range(0, MACROBLOCK, TRANSFORM):
+                sub = residual[top:top + TRANSFORM, left:left + TRANSFORM]
+                levels = quantize(dct2(sub), self._table)
+                encode_coefficients(writer, zigzag(levels))
+                recon[top:top + TRANSFORM, left:left + TRANSFORM] = idct2(
+                    dequantize(levels, self._table))
+        return recon
+
+
+def _clip_to_u8(values: np.ndarray) -> np.ndarray:
+    return np.clip(np.round(values), 0, 255).astype(np.uint8)

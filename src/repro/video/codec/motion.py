@@ -1,0 +1,71 @@
+"""Block motion estimation and compensation (diamond search).
+
+P frames reconstruct each macroblock from a motion-shifted region of
+the previous *reconstructed* frame (paper Sec. 2.2, step 4).  The
+estimator is the classic two-stage diamond search over SAD cost.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_LARGE_DIAMOND = ((0, 0), (0, 2), (0, -2), (2, 0), (-2, 0),
+                  (1, 1), (1, -1), (-1, 1), (-1, -1))
+_SMALL_DIAMOND = ((0, 0), (0, 1), (0, -1), (1, 0), (-1, 0))
+
+
+def _sad(reference: np.ndarray, block: np.ndarray, top: int, left: int) -> float:
+    size = block.shape[0]
+    region = reference[top:top + size, left:left + size]
+    return float(np.abs(region.astype(np.int32) - block.astype(np.int32)).sum())
+
+
+def diamond_search(reference: np.ndarray, block: np.ndarray, top: int,
+                   left: int, search_range: int = 7) -> Tuple[int, int]:
+    """Best (dy, dx) motion vector for ``block`` anchored at (top, left).
+
+    Runs the large-diamond pattern until the centre wins, then refines
+    with the small diamond.  Candidates outside the frame or the search
+    window are skipped; (0, 0) is always evaluated.
+    """
+    height, width = reference.shape
+    size = block.shape[0]
+
+    def in_bounds(dy: int, dx: int) -> bool:
+        return (abs(dy) <= search_range and abs(dx) <= search_range
+                and 0 <= top + dy <= height - size
+                and 0 <= left + dx <= width - size)
+
+    best = (0, 0)
+    best_cost = _sad(reference, block, top, left)
+    # Large diamond until the centre is the minimum.
+    while True:
+        center = best
+        for dy, dx in _LARGE_DIAMOND:
+            cand = (center[0] + dy, center[1] + dx)
+            if cand == center or not in_bounds(*cand):
+                continue
+            cost = _sad(reference, block, top + cand[0], left + cand[1])
+            if cost < best_cost:
+                best, best_cost = cand, cost
+        if best == center:
+            break
+    # Small-diamond refinement.
+    center = best
+    for dy, dx in _SMALL_DIAMOND:
+        cand = (center[0] + dy, center[1] + dx)
+        if cand == center or not in_bounds(*cand):
+            continue
+        cost = _sad(reference, block, top + cand[0], left + cand[1])
+        if cost < best_cost:
+            best, best_cost = cand, cost
+    return best
+
+
+def motion_compensate(reference: np.ndarray, top: int, left: int,
+                      motion: Tuple[int, int], size: int) -> np.ndarray:
+    """The predictor block: reference shifted by the motion vector."""
+    dy, dx = motion
+    return reference[top + dy:top + dy + size, left + dx:left + dx + size]

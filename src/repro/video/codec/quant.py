@@ -1,0 +1,54 @@
+"""Quantization for the block codec.
+
+Uses the JPEG luminance matrix scaled by a quality factor, the standard
+IJG mapping: quality 50 uses the table as-is, higher qualities shrink
+the steps, lower qualities grow them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import CodecError
+
+#: JPEG Annex K luminance quantization table (8x8).
+JPEG_LUMA_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def quant_table(quality: int, block_size: int = 8) -> np.ndarray:
+    """Quantization steps for the given quality in [1, 100]."""
+    if not 1 <= quality <= 100:
+        raise CodecError(f"quality must be in [1, 100], got {quality}")
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    table = np.floor((JPEG_LUMA_QUANT * scale + 50.0) / 100.0)
+    table = np.clip(table, 1.0, 255.0)
+    if block_size != 8:
+        # Resample the 8x8 table to other transform sizes.
+        idx = (np.arange(block_size) * 8) // block_size
+        table = table[np.ix_(idx, idx)]
+    return table
+
+
+def quantize(coeffs: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantize DCT coefficients to integers (round-to-nearest)."""
+    return np.round(coeffs / table).astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Reconstruct coefficient estimates from quantized levels."""
+    return levels.astype(np.float64) * table

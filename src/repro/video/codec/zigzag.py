@@ -1,0 +1,37 @@
+"""Zigzag coefficient scan order (JPEG/H.264 style)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def zigzag_order(n: int) -> np.ndarray:
+    """Flat indices of an ``(n, n)`` block in zigzag scan order.
+
+    Diagonals are traversed alternately up-right and down-left so that
+    low-frequency coefficients come first.
+    """
+    coords = []
+    for diag in range(2 * n - 1):
+        cells = [(i, diag - i) for i in range(n) if 0 <= diag - i < n]
+        if diag % 2 == 0:
+            cells.reverse()  # even diagonals run bottom-left -> top-right
+        coords.extend(cells)
+    rows, cols = zip(*coords)
+    return np.asarray(rows) * n + np.asarray(cols)
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Scan an ``(n, n)`` block into a zigzag-ordered vector."""
+    n = block.shape[-1]
+    return block.reshape(*block.shape[:-2], n * n)[..., zigzag_order(n)]
+
+
+def unzigzag(vector: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`zigzag`."""
+    out = np.empty_like(vector)
+    out[..., zigzag_order(n)] = vector
+    return out.reshape(*vector.shape[:-1], n, n)

@@ -1,0 +1,53 @@
+"""Group-of-pictures (GOP) structure.
+
+Real encoders emit a repeating I / P / B pattern; the frame type drives
+both the decode-work model (I frames are the heavy ones) and reference
+behaviour.  We generate the classic pattern where each GOP opens with
+an I frame and B frames are spread between P anchors, e.g. for
+``gop_length=12, b_frames=8``::
+
+    I B B P B B P B B P B B | I ...
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import ConfigError
+from .frame import FrameType
+
+
+def gop_pattern(gop_length: int, b_frames: int) -> List[FrameType]:
+    """The frame-type pattern of one GOP.
+
+    ``b_frames`` B frames are distributed as evenly as possible among
+    the ``gop_length - 1`` non-I slots; the rest become P frames.
+    """
+    if gop_length < 1:
+        raise ConfigError("GOP length must be >= 1")
+    if b_frames < 0 or b_frames > gop_length - 1:
+        raise ConfigError(
+            f"cannot fit {b_frames} B frames in a GOP of {gop_length}")
+    pattern = [FrameType.I]
+    slots = gop_length - 1
+    if slots == 0:
+        return pattern
+    # Mark exactly b_frames slots as B, spread evenly (Bresenham-style).
+    is_b = [
+        (slot + 1) * b_frames // slots > slot * b_frames // slots
+        for slot in range(slots)
+    ]
+    # Keep a trailing P anchor: a GOP must not end on a dangling B.
+    if is_b and is_b[-1] and not all(is_b):
+        swap = max(i for i, b in enumerate(is_b) if not b)
+        is_b[-1], is_b[swap] = is_b[swap], is_b[-1]
+    pattern.extend(FrameType.B if b else FrameType.P for b in is_b)
+    return pattern
+
+
+def gop_frame_types(n_frames: int, gop_length: int,
+                    b_frames: int) -> Iterator[FrameType]:
+    """Yield the frame type of each of ``n_frames`` stream frames."""
+    pattern = gop_pattern(gop_length, b_frames)
+    for index in range(n_frames):
+        yield pattern[index % gop_length]

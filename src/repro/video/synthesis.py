@@ -1,0 +1,281 @@
+"""Synthetic video generator with controllable content similarity.
+
+The paper's three techniques consume only (a) per-frame decode work and
+(b) the exact-content / gradient-content similarity structure of the
+decoded macroblocks.  Since the original 16 YouTube videos are not
+available, this module synthesizes block streams whose similarity
+statistics are controlled per video profile and calibrated against the
+paper's measured aggregates (Fig. 2b regions, Fig. 7b census).
+
+Content model
+-------------
+Every block of a frame belongs to one of three content classes:
+
+* **common** — drawn from a small per-scene pool of textures; many
+  blocks share each (texture, base) combination, producing the paper's
+  *intra-frame* matches.  Texture 0 is the flat (zero-gradient) block;
+  flat blocks with different colours match under gab but not mab,
+  which is what makes the top gab digest dominate (Fig. 9b).
+* **unique** — a per-position persistent texture: it appears once per
+  frame but recurs across frames, producing *inter-frame* matches.
+* **noise** — re-randomized every frame: never matches (film grain,
+  water, fur).
+
+A block's stored texture always has a zero first pixel (it *is* the
+gradient block); the rendered content is ``texture + base`` with uint8
+wraparound, so ``content - content[first pixel]`` exactly recovers the
+texture.  Applying a random base with probability ``p_offset`` creates
+content that matches under gab but not under mab.
+
+Scenes last ``scene_len`` frames; a scene cut regenerates all pools
+(a burst of no-match blocks, like a real cut).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..config import VideoConfig
+from ..errors import ConfigError
+from .frame import DecodedFrame, FrameType
+from .gop import gop_pattern
+
+#: Modelled encoded density (bits per *pixel*) by frame type, before the
+#: per-frame complexity multiplier.  Ballpark H.264 4K rates.
+_BITS_PER_PIXEL = {FrameType.I: 1.6, FrameType.P: 0.55, FrameType.B: 0.30}
+
+
+@dataclass(frozen=True)
+class VideoProfile:
+    """Per-video content and complexity characteristics (Table 1).
+
+    The similarity knobs (``f_common``, ``f_unique``, ``f_flat``,
+    ``p_offset``) shape the Fig. 7b census; ``complexity_mean`` and
+    ``complexity_sigma`` shape the Fig. 2b decode-time regions.
+    """
+
+    key: str
+    name: str
+    description: str
+    n_frames: int  # the paper's Table 1 frame count, at full length
+
+    f_common: float = 0.45  # fraction of blocks from the shared pool
+    f_unique: float = 0.12  # fraction with per-position persistent content
+    f_flat: float = 0.30  # of common blocks, fraction that are flat colour
+    p_offset: float = 0.45  # P(common texture used with a random base)
+    flat_palette: int = 6  # distinct flat colours per scene
+    common_pool: int = 28  # textures in the shared pool
+    zipf_s: float = 1.50  # popularity skew across the texture pool
+    p_update: float = 0.12  # per-frame content churn of non-noise blocks
+    scene_len: int = 90  # frames between scene cuts
+
+    complexity_mean: float = 1.0  # decode-work multiplier (1.0 = average)
+    complexity_sigma: float = 0.0  # extra per-video lognormal spread
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.f_common <= 1.0:
+            raise ConfigError("f_common must be in [0, 1]")
+        if not 0.0 <= self.f_unique <= 1.0 - self.f_common:
+            raise ConfigError("f_common + f_unique must not exceed 1")
+        if self.scene_len < 1:
+            raise ConfigError("scene_len must be >= 1")
+        if self.common_pool < 1 or self.flat_palette < 1:
+            raise ConfigError("pools must be non-empty")
+
+    @property
+    def f_noise(self) -> float:
+        return 1.0 - self.f_common - self.f_unique
+
+
+# Block content classes.
+_COMMON, _UNIQUE, _NOISE = 0, 1, 2
+
+
+def _smooth_textures(rng: np.random.Generator, count: int, block_bytes: int,
+                     step: int) -> np.ndarray:
+    """Gradient textures built as byte-wise random walks.
+
+    The first pixel is forced to zero so each texture *is* its own
+    gradient block (``content = texture + base`` reconstructs exactly).
+    """
+    steps = rng.integers(-step, step + 1, size=(count, block_bytes),
+                         dtype=np.int16)
+    walk = np.cumsum(steps, axis=1).astype(np.uint8)  # mod-256 drift
+    walk[:, :3] = 0
+    return walk
+
+
+class SyntheticVideo:
+    """Iterable stream of :class:`DecodedFrame` for one profile.
+
+    The stream is deterministic for a given (profile, config, seed).
+    """
+
+    def __init__(self, config: VideoConfig, profile: VideoProfile,
+                 seed: int = 0, n_frames: Optional[int] = None,
+                 complexity_sigma: float = 0.12) -> None:
+        self.config = config
+        self.profile = profile
+        self.n_frames = profile.n_frames if n_frames is None else n_frames
+        if self.n_frames < 1:
+            raise ConfigError("need at least one frame")
+        self._seed = seed
+        self._sigma = math.hypot(complexity_sigma, profile.complexity_sigma)
+        self._pattern = gop_pattern(config.gop_length,
+                                    config.b_frames_per_gop)
+
+    def __iter__(self) -> Iterator[DecodedFrame]:
+        return self.frames()
+
+    def __len__(self) -> int:
+        return self.n_frames
+
+    # -- generation -----------------------------------------------------
+
+    def frames(self) -> Iterator[DecodedFrame]:
+        """Generate the frame stream."""
+        cfg, prof = self.config, self.profile
+        rng = np.random.default_rng(self._seed)
+        n = cfg.blocks_per_frame
+        k = cfg.block_bytes
+        state = _SceneState(rng, prof, n, k)
+        for index in range(self.n_frames):
+            if index % prof.scene_len == 0:
+                state.new_scene()
+            else:
+                state.churn()
+            frame_type = self._pattern[index % cfg.gop_length]
+            complexity = self._complexity(rng, frame_type)
+            encoded_bits = self._encoded_bits(frame_type, complexity)
+            yield DecodedFrame(
+                index=index,
+                frame_type=frame_type,
+                blocks=state.render(),
+                complexity=complexity,
+                encoded_bits=encoded_bits,
+            )
+
+    def _complexity(self, rng: np.random.Generator,
+                    frame_type: FrameType) -> float:
+        """Per-frame decode-work multiplier (lognormal around the mean).
+
+        Type-neutral by design: the decoder's timing model applies its
+        own per-type cycle costs on top of this multiplier.
+        """
+        del frame_type  # complexity is orthogonal to the frame type
+        spread = float(rng.lognormal(mean=0.0, sigma=self._sigma))
+        return self.profile.complexity_mean * spread
+
+    def _encoded_bits(self, frame_type: FrameType, complexity: float) -> int:
+        pixels = self.config.width * self.config.height
+        return int(pixels * _BITS_PER_PIXEL[frame_type] * complexity)
+
+
+class _SceneState:
+    """Mutable per-scene block assignment and content pools."""
+
+    def __init__(self, rng: np.random.Generator, profile: VideoProfile,
+                 n_blocks: int, block_bytes: int) -> None:
+        self._rng = rng
+        self._profile = profile
+        self._n = n_blocks
+        self._k = block_bytes
+        # Filled by new_scene():
+        self._classes = np.zeros(n_blocks, dtype=np.int8)
+        self._texture_idx = np.zeros(n_blocks, dtype=np.int64)
+        self._bases = np.zeros((n_blocks, 3), dtype=np.uint8)
+        self._common_textures = np.zeros((1, block_bytes), dtype=np.uint8)
+        self._canonical_bases = np.zeros((1, 3), dtype=np.uint8)
+        self._flat_colors = np.zeros((1, 3), dtype=np.uint8)
+        self._unique_textures = np.zeros((n_blocks, block_bytes),
+                                         dtype=np.uint8)
+
+    # -- scene lifecycle -------------------------------------------------
+
+    def new_scene(self) -> None:
+        """Regenerate pools and reassign every block (a scene cut)."""
+        rng, prof, n, k = self._rng, self._profile, self._n, self._k
+        pool = prof.common_pool
+        # Textures are smooth random walks: neighbouring bytes differ by
+        # small steps, like real shaded surfaces, so intra-block delta
+        # compression (DCC) sees realistic compressibility.
+        self._common_textures = _smooth_textures(rng, pool, k, step=5)
+        self._common_textures[0] = 0  # texture 0 is the flat block
+        self._canonical_bases = rng.integers(
+            0, 256, size=(pool, 3), dtype=np.uint8)
+        self._flat_colors = rng.integers(
+            0, 256, size=(prof.flat_palette, 3), dtype=np.uint8)
+        self._unique_textures = _smooth_textures(rng, n, k, step=11)
+        self._classes = rng.choice(
+            np.array([_COMMON, _UNIQUE, _NOISE], dtype=np.int8),
+            size=n,
+            p=[prof.f_common, prof.f_unique, prof.f_noise],
+        )
+        self._reroll(np.ones(n, dtype=bool))
+
+    def churn(self) -> None:
+        """Re-roll a ``p_update`` fraction of non-noise blocks."""
+        update = self._rng.random(self._n) < self._profile.p_update
+        self._reroll(update)
+
+    def _reroll(self, mask: np.ndarray) -> None:
+        """Assign fresh (texture, base) choices for the masked blocks."""
+        rng, prof = self._rng, self._profile
+        common = mask & (self._classes == _COMMON)
+        n_common = int(common.sum())
+        if n_common:
+            # Texture 0 (flat) gets probability f_flat; the remaining
+            # textures follow a Zipf popularity (a few hot textures and
+            # a long tail, like real scene content — this is what gives
+            # the MACH realistic capacity pressure and the Fig. 9b
+            # top-digest concentration).
+            ranks = np.arange(1, prof.common_pool, dtype=np.float64)
+            tail = ranks ** (-prof.zipf_s) if len(ranks) else ranks
+            weights = np.empty(prof.common_pool)
+            weights[0] = prof.f_flat
+            if len(tail):
+                weights[1:] = (1.0 - prof.f_flat) * tail / tail.sum()
+            weights /= weights.sum()
+            choice = rng.choice(prof.common_pool, size=n_common, p=weights)
+            self._texture_idx[common] = choice
+            bases = self._canonical_bases[choice].copy()
+            offset = rng.random(n_common) < prof.p_offset
+            bases[offset] = rng.integers(
+                0, 256, size=(int(offset.sum()), 3), dtype=np.uint8)
+            flat = choice == 0
+            n_flat = int(flat.sum())
+            if n_flat:
+                palette = rng.integers(0, prof.flat_palette, size=n_flat)
+                bases[flat] = self._flat_colors[palette]
+            self._bases[common] = bases
+        unique = mask & (self._classes == _UNIQUE)
+        n_unique = int(unique.sum())
+        if n_unique:
+            # A re-rolled unique block gets brand-new persistent content.
+            self._unique_textures[unique] = rng.integers(
+                0, 256, size=(n_unique, self._k), dtype=np.uint8)
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> np.ndarray:
+        """Materialize the current frame's block matrix."""
+        rng, n, k = self._rng, self._n, self._k
+        blocks = np.empty((n, k), dtype=np.uint8)
+        common = self._classes == _COMMON
+        if common.any():
+            textures = self._common_textures[self._texture_idx[common]]
+            bases = np.tile(self._bases[common], (1, k // 3))
+            blocks[common] = textures + bases  # uint8 wraparound by design
+        unique = self._classes == _UNIQUE
+        if unique.any():
+            blocks[unique] = self._unique_textures[unique]
+        noise = self._classes == _NOISE
+        n_noise = int(noise.sum())
+        if n_noise:
+            blocks[noise] = rng.integers(
+                0, 256, size=(n_noise, k), dtype=np.uint8)
+        return blocks

@@ -1,0 +1,38 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, VideoConfig
+from repro.video import SyntheticVideo, workload
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def video_config() -> VideoConfig:
+    """A tiny, fast geometry used across unit tests."""
+    return VideoConfig(width=64, height=32, gop_length=10,
+                       b_frames_per_gop=3)
+
+
+@pytest.fixture
+def sim_config(video_config: VideoConfig) -> SimulationConfig:
+    return SimulationConfig(video=video_config)
+
+
+@pytest.fixture
+def short_stream(video_config: VideoConfig):
+    """A 30-frame V8 stream at the tiny test geometry."""
+    return list(SyntheticVideo(video_config, workload("V8"), seed=3,
+                               n_frames=30))
+
+
+@pytest.fixture
+def random_blocks(rng: np.random.Generator) -> np.ndarray:
+    return rng.integers(0, 256, size=(200, 48), dtype=np.uint8)

@@ -1,0 +1,135 @@
+"""Tests for the analysis utilities (regions, CDFs, census, tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import simulate, workload
+from repro.analysis import (
+    Region,
+    classify_frames,
+    content_census,
+    format_table,
+    region_mix,
+    stacked_energy_cdf,
+    stacked_time_cdf,
+)
+from repro.analysis.report import comparison_report
+from repro.config import BASELINE, GAB, PowerStateConfig, VideoConfig
+from repro.core.results import compare_schemes
+from repro.video import SyntheticVideo, VideoProfile
+
+
+class TestRegions:
+    def test_classification_boundaries(self):
+        power = PowerStateConfig()
+        deadline = 1 / 60.0
+        s1 = power.sleep_breakeven("S1")
+        s3 = power.sleep_breakeven("S3")
+        times = np.asarray([
+            deadline + 1e-4,  # dropped -> I
+            deadline - s1 / 2,  # short slack -> II
+            deadline - (s1 + s3) / 2,  # S1 -> III
+            deadline - s3 - 1e-4,  # S3 -> IV
+        ])
+        regions = classify_frames(times, deadline, power)
+        assert list(regions) == [Region.I, Region.II, Region.III, Region.IV]
+
+    def test_mix_sums_to_one(self):
+        power = PowerStateConfig()
+        times = np.random.default_rng(0).uniform(0.005, 0.02, 200)
+        mix = region_mix(times, 1 / 60.0, power)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        mix = region_mix(np.empty(0), 1 / 60.0, PowerStateConfig())
+        assert all(v == 0.0 for v in mix.values())
+
+
+class TestStackedCdf:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate(workload("V8"), BASELINE, n_frames=48, seed=3)
+
+    def test_fractions_sum_to_one(self, result):
+        cdf = stacked_time_cdf(result.timeline)
+        total = sum(cdf.series(s) for s in cdf.fractions)
+        assert np.allclose(total, 1.0)
+
+    def test_sorted_by_decode_time(self, result):
+        cdf = stacked_time_cdf(result.timeline)
+        assert (np.diff(cdf.sort_key) >= 0).all()
+
+    def test_energy_cdf(self, result):
+        cdf = stacked_energy_cdf(result.timeline)
+        assert cdf.n_frames == 48
+        assert 0.2 < cdf.mean_fraction("execution") <= 1.0
+
+
+class TestCensus:
+    def test_all_identical_frames(self, video_config):
+        profile = VideoProfile(key="C", name="c", description="c",
+                               n_frames=4, f_common=0.7, f_unique=0.3,
+                               p_update=0.0, scene_len=100)
+        frames = list(SyntheticVideo(video_config, profile, seed=1,
+                                     n_frames=4))
+        census = content_census(frames)
+        # After frame 0, every first occurrence is an inter match.
+        assert census.none_fraction < 0.5
+        assert census.match_fraction > 0.5
+
+    def test_pure_noise_never_matches(self, video_config):
+        profile = VideoProfile(key="N", name="n", description="n",
+                               n_frames=3, f_common=0.0, f_unique=0.0)
+        frames = list(SyntheticVideo(video_config, profile, seed=1,
+                                     n_frames=3))
+        census = content_census(frames)
+        assert census.none_fraction > 0.99
+
+    def test_gradient_census_finds_more(self, short_stream):
+        plain = content_census(short_stream)
+        gradient = content_census(short_stream, use_gradient=True)
+        assert gradient.match_fraction > plain.match_fraction
+
+    def test_window_limits_inter(self, short_stream):
+        wide = content_census(short_stream, window=16)
+        narrow = content_census(short_stream, window=1)
+        assert narrow.inter <= wide.inter
+
+    def test_per_frame_records(self, short_stream):
+        census = content_census(short_stream)
+        assert len(census.per_frame) == len(short_stream)
+        for index, intra, inter, none in census.per_frame:
+            assert intra + inter + none == short_stream[0].n_blocks
+
+
+class TestTables:
+    def test_alignment_and_header(self):
+        table = format_table(["name", "value"],
+                             [["a", 1.5], ["bb", 22.25]], precision=2)
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.50" in table and "22.25" in table
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="T")
+        assert table.splitlines()[0] == "T"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestReport:
+    def test_comparison_report(self):
+        results = [simulate(workload("V8"), scheme, n_frames=24, seed=4)
+                   for scheme in (BASELINE, GAB)]
+        report = comparison_report([compare_schemes(results)])
+        assert "V8" in report
+        assert "GAB" in report
+        assert "normalized" in report.lower() or "Normalized" in report
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_report([])

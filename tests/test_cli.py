@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(["run", "V8", "gab",
+                                          "--frames", "32"])
+        assert args.video == "V8"
+        assert args.scheme == "gab"
+        assert args.frames == 32
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "V8", "turbo"])
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "V1" in out and "V16" in out
+        assert "SES Astra" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "V8", "gab", "--frames", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "mJ/frame" in out
+        assert "MACH" in out
+
+    def test_run_baseline_has_no_mach_line(self, capsys):
+        assert main(["run", "V8", "baseline", "--frames", "24"]) == 0
+        assert "MACH:" not in capsys.readouterr().out
+
+    def test_census(self, capsys):
+        assert main(["census", "--videos", "V8", "--frames", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "intra" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--videos", "V8", "--frames", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "GAB" in out
+        assert "Normalized energy" in out
+
+    def test_trace_roundtrip(self, capsys, tmp_path):
+        path = str(tmp_path / "t.npz")
+        assert main(["trace", "capture", path, "--video", "V8",
+                     "--frames", "12"]) == 0
+        assert main(["trace", "census", path]) == 0
+        assert main(["trace", "run", path, "--scheme", "gab"]) == 0
+        out = capsys.readouterr().out
+        assert "captured 12 frames" in out
+        assert "baseline energy" in out

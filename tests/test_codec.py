@@ -1,0 +1,242 @@
+"""Tests for the block codec substrate (DCT, quant, entropy, motion,
+encoder/decoder round trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.video import FrameType
+from repro.video.codec import Decoder, Encoder, diamond_search, motion_compensate
+from repro.video.codec.dct import dct2, dct_matrix, idct2
+from repro.video.codec.entropy import (
+    BitReader,
+    BitWriter,
+    decode_coefficients,
+    encode_coefficients,
+)
+from repro.video.codec.quant import dequantize, quant_table, quantize
+from repro.video.codec.zigzag import unzigzag, zigzag, zigzag_order
+
+
+class TestDct:
+    def test_orthonormal_basis(self):
+        basis = dct_matrix(8)
+        assert np.allclose(basis @ basis.T, np.eye(8), atol=1e-12)
+
+    def test_roundtrip(self, rng):
+        block = rng.normal(size=(8, 8))
+        assert np.allclose(idct2(dct2(block)), block, atol=1e-10)
+
+    def test_dc_coefficient_is_scaled_mean(self):
+        block = np.full((8, 8), 10.0)
+        coeffs = dct2(block)
+        assert coeffs[0, 0] == pytest.approx(80.0)  # 8 * mean
+        assert np.allclose(coeffs.ravel()[1:], 0.0, atol=1e-12)
+
+    def test_batched(self, rng):
+        blocks = rng.normal(size=(5, 8, 8))
+        batched = dct2(blocks)
+        for i in range(5):
+            assert np.allclose(batched[i], dct2(blocks[i]))
+
+
+class TestQuant:
+    def test_quality_scaling_monotonic(self):
+        steps = [quant_table(q).mean() for q in (10, 50, 90)]
+        assert steps[0] > steps[1] > steps[2]
+
+    def test_quality_50_is_base_table(self):
+        from repro.video.codec.quant import JPEG_LUMA_QUANT
+        assert (quant_table(50) == JPEG_LUMA_QUANT).all()
+
+    def test_invalid_quality(self):
+        with pytest.raises(CodecError):
+            quant_table(0)
+
+    def test_quantize_dequantize(self, rng):
+        table = quant_table(60)
+        coeffs = rng.normal(scale=100, size=(8, 8))
+        levels = quantize(coeffs, table)
+        recon = dequantize(levels, table)
+        assert np.abs(recon - coeffs).max() <= table.max() / 2 + 1e-9
+
+    def test_resampled_table(self):
+        table = quant_table(50, block_size=4)
+        assert table.shape == (4, 4)
+
+
+class TestZigzag:
+    def test_order_is_permutation(self):
+        order = zigzag_order(8)
+        assert sorted(order) == list(range(64))
+
+    def test_known_prefix(self):
+        # The canonical JPEG zigzag starts 0, 1, 8, 16, 9, 2.
+        assert list(zigzag_order(8)[:6]) == [0, 1, 8, 16, 9, 2]
+
+    def test_roundtrip(self, rng):
+        block = rng.integers(-50, 50, size=(8, 8)).astype(np.int32)
+        assert (unzigzag(zigzag(block), 8) == block).all()
+
+
+class TestBitIO:
+    def test_bits_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0x1F2, 9)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(4) == 0b1011
+        assert reader.read_bits(9) == 0x1F2
+
+    @given(st.lists(st.integers(0, 10_000), max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_ue_roundtrip(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_ue(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_ue() for _ in values] == values
+
+    @given(st.lists(st.integers(-5_000, 5_000), max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_se_roundtrip(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_se(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_se() for _ in values] == values
+
+    def test_ue_rejects_negative(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_ue(-1)
+
+    def test_exhausted_stream(self):
+        reader = BitReader(b"")
+        with pytest.raises(CodecError):
+            reader.read_bit()
+
+    def test_bit_length(self):
+        writer = BitWriter()
+        writer.write_bits(1, 3)
+        assert writer.bit_length == 3
+
+
+class TestCoefficientCoding:
+    @given(st.lists(st.integers(-20, 20), min_size=64, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, coeffs):
+        vector = np.asarray(coeffs, dtype=np.int32)
+        writer = BitWriter()
+        encode_coefficients(writer, vector)
+        reader = BitReader(writer.getvalue())
+        assert (decode_coefficients(reader, 64) == vector).all()
+
+    def test_sparse_blocks_are_cheap(self):
+        dense = np.arange(1, 65, dtype=np.int32)
+        sparse = np.zeros(64, dtype=np.int32)
+        sparse[0] = 5
+        writer_dense, writer_sparse = BitWriter(), BitWriter()
+        encode_coefficients(writer_dense, dense)
+        encode_coefficients(writer_sparse, sparse)
+        assert writer_sparse.bit_length < writer_dense.bit_length / 10
+
+
+class TestMotion:
+    def test_finds_exact_translation(self):
+        # A radial blob gives a unimodal SAD surface, which greedy
+        # diamond descent follows to the exact optimum (on noise or on
+        # periodic patterns it may legitimately stop elsewhere).
+        y, x = np.mgrid[0:64, 0:64]
+        radial = np.hypot(y - 24.0, x - 28.0)
+        reference = np.clip(255 - radial * 6, 0, 255).astype(np.uint8)
+        dy, dx = 3, -2
+        block = reference[16 + dy:32 + dy, 16 + dx:32 + dx]
+        assert diamond_search(reference, block, 16, 16) == (dy, dx)
+
+    def test_zero_motion_for_identical(self, rng):
+        reference = rng.integers(0, 256, size=(64, 64), dtype=np.uint8)
+        block = reference[16:32, 16:32]
+        assert diamond_search(reference, block, 16, 16) == (0, 0)
+
+    def test_respects_bounds(self, rng):
+        reference = rng.integers(0, 256, size=(32, 32), dtype=np.uint8)
+        block = rng.integers(0, 256, size=(16, 16), dtype=np.uint8)
+        dy, dx = diamond_search(reference, block, 0, 0, search_range=7)
+        assert 0 <= dy <= 7 and 0 <= dx <= 7  # cannot go above/left of edge
+
+    def test_compensate_slices(self, rng):
+        reference = rng.integers(0, 256, size=(32, 32), dtype=np.uint8)
+        predictor = motion_compensate(reference, 8, 8, (2, -3), 16)
+        assert (predictor == reference[10:26, 5:21]).all()
+
+
+class TestCodecRoundtrip:
+    def _stream(self, rng, n=6, size=(48, 64)):
+        base = rng.integers(20, 230, size=size, dtype=np.uint8)
+        frames = []
+        for i in range(n):
+            frames.append(np.roll(base, 3 * i, axis=1))
+        return frames
+
+    def test_decoder_matches_encoder_reconstruction(self, rng):
+        encoder, decoder = Encoder(quality=70, gop_length=4), Decoder()
+        for image in self._stream(rng):
+            encoded = encoder.encode_frame(image)
+            decoded = decoder.decode_frame(encoded.data)
+            assert (decoded == encoder.reference).all()
+
+    def test_gop_cadence(self, rng):
+        encoder = Encoder(quality=70, gop_length=3)
+        types = [encoder.encode_frame(img).frame_type
+                 for img in self._stream(rng, n=7)]
+        assert types[0] is FrameType.I
+        assert types[3] is FrameType.I
+        assert types[1] is FrameType.P
+
+    def test_static_scene_mostly_skips(self, rng):
+        encoder = Encoder(quality=70, gop_length=10)
+        image = rng.integers(0, 256, size=(48, 48), dtype=np.uint8)
+        encoder.encode_frame(image)
+        # Re-encoding the decoder's own reconstruction is a perfectly
+        # static scene: every macroblock must SKIP.
+        second = encoder.encode_frame(encoder.reference)
+        assert second.skip_mabs == second.total_mabs
+
+    def test_p_frames_smaller_than_i(self, rng):
+        encoder = Encoder(quality=70, gop_length=10)
+        frames = self._stream(rng, n=4)
+        sizes = [encoder.encode_frame(img) for img in frames]
+        assert all(s.bits < sizes[0].bits for s in sizes[1:])
+
+    def test_quality_controls_fidelity(self, rng):
+        image = rng.integers(0, 256, size=(48, 48), dtype=np.uint8)
+        errors = []
+        for quality in (20, 85):
+            encoder, decoder = Encoder(quality=quality), Decoder()
+            decoded = decoder.decode_frame(encoder.encode_frame(image).data)
+            errors.append(
+                float(np.abs(decoded.astype(int) - image.astype(int)).mean()))
+        assert errors[1] < errors[0]
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(CodecError):
+            Encoder().encode_frame(np.zeros((10, 16), dtype=np.uint8))
+
+    def test_rejects_b_frames(self, rng):
+        image = rng.integers(0, 256, size=(16, 16), dtype=np.uint8)
+        with pytest.raises(CodecError):
+            Encoder().encode_frame(image, force_type=FrameType.B)
+
+    def test_p_before_i_raises(self):
+        decoder = Decoder()
+        encoder = Encoder(quality=60)
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 256, size=(16, 16), dtype=np.uint8)
+        encoder.encode_frame(image)  # I
+        p_frame = encoder.encode_frame(image)  # P
+        with pytest.raises(CodecError):
+            decoder.decode_frame(p_frame.data)

@@ -1,0 +1,110 @@
+"""Tests for colour-space conversion and terminal plotting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis import bar_chart, sparkline, stacked_area
+from repro.errors import GeometryError
+from repro.video import luma, rgb_to_ycbcr, ycbcr_to_rgb
+
+
+class TestColorConversion:
+    def test_known_primaries(self):
+        rgb = np.asarray([[255, 255, 255], [0, 0, 0]], dtype=np.uint8)
+        ycc = rgb_to_ycbcr(rgb)
+        assert ycc[0, 0] == 255 and ycc[1, 0] == 0  # luma extremes
+        assert abs(int(ycc[0, 1]) - 128) <= 1  # neutral chroma
+        assert abs(int(ycc[1, 2]) - 128) <= 1
+
+    def test_red_has_high_cr(self):
+        red = np.asarray([[255, 0, 0]], dtype=np.uint8)
+        ycc = rgb_to_ycbcr(red)
+        assert ycc[0, 2] > 200
+
+    @given(arrays(np.uint8, (10, 3)))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_within_one(self, rgb):
+        back = ycbcr_to_rgb(rgb_to_ycbcr(rgb))
+        assert np.abs(back.astype(int) - rgb.astype(int)).max() <= 1
+
+    def test_image_shape_preserved(self, rng):
+        image = rng.integers(0, 256, (8, 12, 3), dtype=np.uint8)
+        assert rgb_to_ycbcr(image).shape == image.shape
+
+    def test_block_matrix_supported(self, random_blocks):
+        converted = rgb_to_ycbcr(random_blocks)
+        assert converted.shape == random_blocks.shape
+        back = ycbcr_to_rgb(converted)
+        assert np.abs(back.astype(int)
+                      - random_blocks.astype(int)).max() <= 1
+
+    def test_luma_shapes(self, rng):
+        image = rng.integers(0, 256, (8, 12, 3), dtype=np.uint8)
+        assert luma(image).shape == (8, 12)
+        blocks = rng.integers(0, 256, (5, 48), dtype=np.uint8)
+        assert luma(blocks).shape == (5, 16)
+
+    def test_gab_matches_survive_in_ycbcr(self):
+        """A uniform colour shift stays a uniform shift in YCbCr-land
+        closely enough for gradient matching (the paper's claim that
+        the technique is colour-space generic)."""
+        from repro.core.gradient import to_gradient
+        flat_a = np.tile(np.asarray([[200, 40, 90]], dtype=np.uint8),
+                         (1, 16))
+        flat_b = np.tile(np.asarray([[10, 250, 3]], dtype=np.uint8),
+                         (1, 16))
+        gab_a, _ = to_gradient(rgb_to_ycbcr(flat_a))
+        gab_b, _ = to_gradient(rgb_to_ycbcr(flat_b))
+        assert (gab_a == gab_b).all()  # flat stays flat across spaces
+
+    def test_bad_dtype(self):
+        with pytest.raises(GeometryError):
+            rgb_to_ycbcr(np.zeros((4, 3), dtype=np.float32))
+
+
+class TestSparkline:
+    def test_monotonic_series(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert len(line) == 5
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestStackedArea:
+    def test_full_stack_fills_column(self):
+        chart = stacked_area({"a": [0.5] * 8, "b": [0.5] * 8},
+                             width=8, height=4)
+        lines = chart.splitlines()
+        assert len(lines) == 5  # 4 rows + legend
+        column = [line[0] for line in lines[:4]]
+        assert column == ["b", "b", "a", "a"]
+        assert "a=a" in lines[-1]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            stacked_area({"a": [0.1], "b": [0.1, 0.2]})
+
+
+class TestBarChart:
+    def test_reference_tick(self):
+        chart = bar_chart(["x", "yy"], [0.5, 1.0], width=10, reference=1.0)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert "|" in lines[0]
+        assert "0.500" in lines[0] and "1.000" in lines[1]
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""

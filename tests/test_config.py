@@ -1,0 +1,119 @@
+"""Tests for configuration dataclasses and scheme definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    BASELINE,
+    BATCHING,
+    FIG11_SCHEMES,
+    GAB,
+    GAB_DCC,
+    MAB,
+    RACE_TO_SLEEP,
+    RACING,
+    DecoderConfig,
+    DramConfig,
+    MachConfig,
+    SchemeConfig,
+    SimulationConfig,
+    VideoConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestSchemeDefinitions:
+    def test_fig11_order(self):
+        names = [s.name for s in FIG11_SCHEMES]
+        assert names == ["Baseline", "Batching", "Racing", "Race-to-Sleep",
+                         "MAB", "GAB"]
+
+    def test_baseline_is_plain(self):
+        assert BASELINE.batch_size == 1
+        assert not BASELINE.racing
+        assert not BASELINE.uses_mach
+
+    def test_mab_gab_differ_only_in_tagging(self):
+        assert MAB.content_cache == "mab"
+        assert GAB.content_cache == "gab"
+        assert MAB.batch_size == GAB.batch_size == 16
+        assert MAB.racing and GAB.racing
+        assert MAB.display_caching and GAB.display_caching
+
+    def test_gab_dcc_stacks(self):
+        assert GAB_DCC.dcc and GAB_DCC.content_cache == "gab"
+
+    def test_display_caching_requires_mach(self):
+        with pytest.raises(ConfigError):
+            SchemeConfig(name="bad", display_caching=True)
+
+    def test_unknown_cache_mode(self):
+        with pytest.raises(ConfigError):
+            SchemeConfig(name="bad", content_cache="huffman")
+
+
+class TestVideoConfig:
+    def test_block_bytes(self):
+        assert VideoConfig().block_bytes == 48  # 4x4 RGB, the paper's mab
+
+    def test_invalid_block_division(self):
+        with pytest.raises(ConfigError):
+            VideoConfig(width=100, height=50, block_size=3)
+
+
+class TestDecoderConfig:
+    def test_paper_power_points(self):
+        config = DecoderConfig()
+        assert config.active_power(racing=False) == pytest.approx(0.30)
+        assert config.active_power(racing=True) == pytest.approx(0.69)
+        assert config.frequency(racing=True) == 2 * config.frequency(
+            racing=False)
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            DecoderConfig(low_freq=400e6, high_freq=300e6)
+
+
+class TestDramConfig:
+    def test_paper_organization(self):
+        config = DramConfig()
+        assert config.total_banks == 16
+        assert config.lines_per_row == 32
+
+    def test_power_of_two_validation(self):
+        with pytest.raises(ConfigError):
+            DramConfig(row_bytes=1000)
+
+
+class TestMachConfig:
+    def test_paper_structure(self):
+        config = MachConfig()
+        assert config.total_entries == 2048
+        assert config.sets_per_mach == 64
+
+    def test_ways_divide_entries(self):
+        with pytest.raises(ConfigError):
+            MachConfig(entries_per_mach=10, ways=4)
+
+    def test_scheme_mach_selection(self):
+        sim = SimulationConfig()
+        assert sim.with_scheme_mach(GAB).use_gradient
+        assert not sim.with_scheme_mach(MAB).use_gradient
+        assert sim.with_scheme_mach(BASELINE) is sim.mach
+
+
+class TestScaling:
+    def test_scaled_entries_round_to_pow2_sets(self):
+        config = MachConfig()
+        scaled = config.scaled_for(VideoConfig(width=192, height=108))
+        sets = scaled.entries_per_mach // scaled.ways
+        assert sets & (sets - 1) == 0
+
+    def test_display_cache_scaling_floors(self):
+        from repro.config import DisplayConfig
+        display = DisplayConfig()
+        scaled = display.scaled_cache_bytes(VideoConfig(width=192,
+                                                        height=108))
+        assert scaled >= 4 * 64
+        assert scaled < display.display_cache_bytes

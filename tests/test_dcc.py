@@ -1,0 +1,66 @@
+"""Tests for the Delta Colour Compression baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.compression import compressed_sizes, dcc_ratio
+from repro.errors import GeometryError
+
+
+class TestCompressedSizes:
+    def test_flat_block_compresses_hard(self):
+        flat = np.tile(np.asarray([[9, 9, 9]], dtype=np.uint8), (1, 16))
+        size = compressed_sizes(flat)[0]
+        assert size == 4  # header + base, zero payload bits
+
+    def test_smooth_block_compresses_partially(self):
+        ramp = (np.arange(48) // 3).astype(np.uint8).reshape(1, 48)
+        size = compressed_sizes(ramp)[0]
+        assert 4 < size < 48
+
+    def test_noise_block_does_not_compress(self, rng):
+        noise = rng.integers(0, 256, size=(1, 48), dtype=np.uint8)
+        assert compressed_sizes(noise)[0] == 48  # capped at raw
+
+    def test_wraparound_deltas_are_small(self):
+        # 254 vs 2: distance 4 on the mod-256 ring, not 252.
+        wrapped = np.tile(np.asarray([[254, 254, 254]], dtype=np.uint8),
+                          (1, 16))
+        wrapped[0, 3:6] = 2
+        # The same distance without wraparound help: 126 vs 2 (124).
+        far = np.tile(np.asarray([[126, 126, 126]], dtype=np.uint8), (1, 16))
+        far[0, 3:6] = 2
+        assert compressed_sizes(wrapped)[0] < compressed_sizes(far)[0]
+        assert compressed_sizes(wrapped)[0] < 48
+
+    @given(arrays(np.uint8, (5, 48)))
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_raw(self, blocks):
+        sizes = compressed_sizes(blocks)
+        assert (sizes <= 48).all()
+        assert (sizes >= 4).all()
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(GeometryError):
+            compressed_sizes(np.zeros((2, 47), dtype=np.uint8))
+        with pytest.raises(GeometryError):
+            compressed_sizes(np.zeros((2, 48), dtype=np.float32))
+
+
+class TestDccRatio:
+    def test_flat_frame_ratio(self):
+        flat = np.tile(np.asarray([[1, 2, 3]], dtype=np.uint8), (100, 16))
+        assert dcc_ratio(flat) == pytest.approx(4 / 48)
+
+    def test_synthetic_content_is_compressible(self, video_config):
+        """The generator's smooth textures must be DCC-compressible
+        (real video is), while noise stays incompressible."""
+        from repro.video import SyntheticVideo, workload
+        frames = list(SyntheticVideo(video_config, workload("V8"), seed=2,
+                                     n_frames=4))
+        ratio = dcc_ratio(frames[-1].blocks)
+        assert 0.3 < ratio < 0.95

@@ -1,0 +1,216 @@
+"""Tests for the VD: power states, timing model, and traffic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DecoderConfig, PowerStateConfig, VideoConfig
+from repro.decoder import (
+    PowerState,
+    PowerTracker,
+    VideoDecoder,
+    decode_cycles,
+    decode_time,
+    plan_slack,
+    vd_cache_study,
+)
+from repro.errors import ConfigError
+from repro.video.frame import DecodedFrame, FrameType
+
+
+def make_frame(frame_type=FrameType.P, complexity=1.0, blocks=64,
+               block_bytes=48, index=0) -> DecodedFrame:
+    return DecodedFrame(
+        index=index,
+        frame_type=frame_type,
+        blocks=np.zeros((blocks, block_bytes), dtype=np.uint8),
+        complexity=complexity,
+        encoded_bits=1_000_000,
+    )
+
+
+class TestPowerStateConfig:
+    def test_breakeven_covers_wake_latency(self):
+        config = PowerStateConfig()
+        assert config.sleep_breakeven("S1") >= config.s1_wake_latency
+        assert config.sleep_breakeven("S3") >= config.s3_wake_latency
+
+    def test_s3_breakeven_above_s1(self):
+        config = PowerStateConfig()
+        assert config.sleep_breakeven("S3") > config.sleep_breakeven("S1")
+
+    def test_unknown_state(self):
+        with pytest.raises(ConfigError):
+            PowerStateConfig().sleep_breakeven("S5")
+
+
+class TestPlanSlack:
+    def test_short_slack_stays_idle(self):
+        config = PowerStateConfig()
+        decision = plan_slack(0.0001, config)
+        assert decision.state is PowerState.SHORT_SLACK
+        assert decision.idle_time == pytest.approx(0.0001)
+        assert decision.transition_energy == 0.0
+
+    def test_medium_slack_uses_s1(self):
+        config = PowerStateConfig()
+        slack = (config.sleep_breakeven("S1")
+                 + config.sleep_breakeven("S3")) / 2
+        decision = plan_slack(slack, config)
+        assert decision.state is PowerState.S1
+        assert decision.sleep_time == pytest.approx(
+            slack - config.s1_wake_latency)
+
+    def test_long_slack_uses_s3(self):
+        config = PowerStateConfig()
+        decision = plan_slack(0.5, config)
+        assert decision.state is PowerState.S3
+        assert decision.transition_energy == pytest.approx(
+            config.s3_transition_energy)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            plan_slack(-1.0, PowerStateConfig())
+
+    def test_transition_scale_raises_breakeven(self):
+        config = PowerStateConfig()
+        slack = config.sleep_breakeven("S3") * 1.1
+        cheap = plan_slack(slack, config)
+        assert cheap.state is PowerState.S3
+        pricey = plan_slack(slack, config, transition_scale=10.0)
+        assert pricey.state is not PowerState.S3
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_times_always_sum_to_slack(self, slack):
+        decision = plan_slack(slack, PowerStateConfig())
+        assert decision.total_time == pytest.approx(slack)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_sleeping_never_costs_more_than_idling(self, slack):
+        """plan_slack decisions must never lose energy vs. pure idling."""
+        config = PowerStateConfig()
+        decision = plan_slack(slack, config)
+        sleep_power = {PowerState.S1: config.s1_power,
+                       PowerState.S3: config.s3_power}.get(
+                           decision.state, config.p_idle_power)
+        spent = (decision.sleep_time * sleep_power
+                 + decision.idle_time * config.p_idle_power
+                 + decision.transition_energy)
+        idle_cost = slack * config.p_idle_power
+        assert spent <= idle_cost + 1e-12
+
+
+class TestPowerTracker:
+    def test_execution_accounting(self):
+        tracker = PowerTracker(PowerStateConfig())
+        tracker.record_execution(0.01, 0.3)
+        assert tracker.time_by_state[PowerState.EXECUTION] == pytest.approx(0.01)
+        assert tracker.energy_by_state[PowerState.EXECUTION] == pytest.approx(
+            0.003)
+
+    def test_slack_accounting_s3(self):
+        config = PowerStateConfig()
+        tracker = PowerTracker(config)
+        tracker.record_slack(plan_slack(0.1, config))
+        assert tracker.transitions == 1
+        assert tracker.time_by_state[PowerState.S3] > 0
+        assert tracker.energy_by_state[PowerState.TRANSITION] == pytest.approx(
+            config.s3_transition_energy)
+
+    def test_residency_sums_to_one(self):
+        config = PowerStateConfig()
+        tracker = PowerTracker(config)
+        tracker.record_execution(0.013, 0.3)
+        tracker.record_slack(plan_slack(0.003, config))
+        total = sum(tracker.residency(s) for s in PowerState)
+        assert total == pytest.approx(1.0)
+
+
+class TestTiming:
+    def test_i_frames_slower_than_p(self):
+        config = DecoderConfig()
+        i_frame = make_frame(FrameType.I)
+        p_frame = make_frame(FrameType.P)
+        assert decode_cycles(i_frame, config) > decode_cycles(p_frame, config)
+
+    def test_complexity_scales_cycles(self):
+        config = DecoderConfig()
+        slow = make_frame(complexity=2.0)
+        fast = make_frame(complexity=0.5)
+        assert decode_cycles(slow, config) > 2 * decode_cycles(fast, config) / 2
+
+    def test_racing_halves_time(self):
+        config = DecoderConfig()
+        frame = make_frame()
+        assert decode_time(frame, config, racing=True) == pytest.approx(
+            decode_time(frame, config, racing=False) / 2)
+
+    def test_typical_p_frame_lands_near_13ms(self):
+        """The calibrated operating point of DESIGN.md section 5."""
+        config = DecoderConfig()
+        frame = make_frame(complexity=1.0)
+        time_low = decode_time(frame, config, racing=False)
+        assert 0.012 < time_low < 0.0145
+
+    def test_resolution_does_not_change_timing(self):
+        config = DecoderConfig()
+        small = make_frame(blocks=16)
+        large = make_frame(blocks=4096)
+        assert decode_cycles(small, config) == decode_cycles(large, config)
+
+
+class TestVideoDecoderTraffic:
+    def test_encoded_lines_scale(self, video_config):
+        vd = VideoDecoder(DecoderConfig(), video_config)
+        frame = make_frame()
+        lines = vd.encoded_lines(frame)
+        expected = frame.encoded_bytes / video_config.scale_to_native / 64
+        assert lines == max(1, round(expected))
+
+    def test_i_frames_have_no_reference_reads(self, video_config):
+        vd = VideoDecoder(DecoderConfig(), video_config)
+        assert vd.reference_lines(make_frame(FrameType.I)) == 0
+        assert vd.reference_lines(make_frame(FrameType.P)) > 0
+
+    def test_read_traffic_within_window(self, video_config, rng):
+        vd = VideoDecoder(DecoderConfig(), video_config)
+        frame = make_frame(FrameType.P)
+        traffic = vd.read_traffic(frame, start=1.0, finish=1.01,
+                                  encoded_base=0, reference_base=1 << 20,
+                                  rng=rng)
+        assert traffic.count > 0
+        assert (traffic.times >= 1.0).all()
+        assert (traffic.times < 1.01).all()
+
+    def test_reference_reads_hit_reference_region(self, video_config, rng):
+        vd = VideoDecoder(DecoderConfig(), video_config)
+        frame = make_frame(FrameType.P)
+        base = 1 << 20
+        traffic = vd.read_traffic(frame, 0.0, 0.01, encoded_base=0,
+                                  reference_base=base, rng=rng)
+        ref_mask = traffic.addresses >= base
+        assert ref_mask.sum() == vd.reference_lines(frame)
+        frame_span = video_config.frame_bytes
+        assert (traffic.addresses[ref_mask] < base + frame_span).all()
+
+
+class TestVdCacheStudy:
+    def test_compute_improves_with_capacity_writeback_does_not(
+            self, video_config):
+        results = vd_cache_study(video_config, capacities=[1024, 8192],
+                                 frames=3)
+        small, large = results
+        assert large.compute_miss_rate < small.compute_miss_rate * 0.8
+        # The writeback stream has no reuse: capacity cannot help it.
+        assert large.writeback_miss_rate > 0.95
+        assert small.writeback_miss_rate > 0.95
+
+    def test_results_per_capacity(self, video_config):
+        capacities = [1024, 2048, 4096]
+        results = vd_cache_study(video_config, capacities, frames=2)
+        assert [r.capacity_bytes for r in results] == capacities

@@ -1,0 +1,64 @@
+"""Tests for the gradient-block (gab) transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.gradient import from_gradient, to_gradient
+from repro.errors import GeometryError
+
+
+class TestGradientTransform:
+    def test_first_pixel_becomes_zero(self, random_blocks):
+        gabs, _ = to_gradient(random_blocks)
+        assert (gabs[:, :3] == 0).all()
+
+    def test_bases_are_first_pixels(self, random_blocks):
+        _, bases = to_gradient(random_blocks)
+        assert (bases == random_blocks[:, :3]).all()
+
+    def test_exact_roundtrip(self, random_blocks):
+        gabs, bases = to_gradient(random_blocks)
+        assert (from_gradient(gabs, bases) == random_blocks).all()
+
+    @given(arrays(np.uint8, (7, 12)))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, blocks):
+        gabs, bases = to_gradient(blocks)
+        assert (from_gradient(gabs, bases) == blocks).all()
+
+    def test_uniform_shift_gives_equal_gabs(self, rng):
+        """The paper's Fig. 8e: blue and yellow flat blocks share a gab."""
+        block = rng.integers(0, 200, size=(1, 48), dtype=np.uint8)
+        shift = np.tile(np.asarray([[13, 200, 55]], dtype=np.uint8), (1, 16))
+        shifted = block + shift  # uint8 wraparound
+        gab_a, _ = to_gradient(block)
+        gab_b, _ = to_gradient(shifted)
+        assert (gab_a == gab_b).all()
+
+    def test_flat_blocks_share_zero_gab(self):
+        flat_blue = np.tile(np.asarray([[10, 20, 250]], dtype=np.uint8),
+                            (1, 16))
+        flat_red = np.tile(np.asarray([[200, 3, 7]], dtype=np.uint8), (1, 16))
+        gab_blue, _ = to_gradient(flat_blue)
+        gab_red, _ = to_gradient(flat_red)
+        assert (gab_blue == 0).all()
+        assert (gab_blue == gab_red).all()
+
+    def test_different_textures_different_gabs(self, rng):
+        blocks = rng.integers(0, 256, size=(2, 48), dtype=np.uint8)
+        gabs, _ = to_gradient(blocks)
+        assert (gabs[0] != gabs[1]).any()
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(GeometryError):
+            to_gradient(np.zeros((2, 48), dtype=np.int32))
+
+    def test_rejects_mismatched_bases(self):
+        gabs = np.zeros((3, 48), dtype=np.uint8)
+        with pytest.raises(GeometryError):
+            from_gradient(gabs, np.zeros((2, 3), dtype=np.uint8))

@@ -1,0 +1,160 @@
+"""Tests for frame-buffer layouts and write coalescing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coalesce import (
+    block_span_lines,
+    coalesced_stream_lines,
+    fragmentation_count,
+    sequential_lines,
+    uncoalesced_stream_lines,
+)
+from repro.core.layout import FrameLayout, LayoutMode, RecordKind
+from repro.errors import LayoutError
+
+
+def make_layout(n=4, mode=LayoutMode.POINTER_DIGEST, bases=True,
+                data_bytes=96, dump_bytes=16) -> FrameLayout:
+    return FrameLayout(
+        frame_index=0,
+        mode=mode,
+        n_blocks=n,
+        block_bytes=48,
+        kinds=np.zeros(n, dtype=np.uint8),
+        pointers=np.arange(n, dtype=np.int64) * 48,
+        digests=np.zeros(n, dtype=np.uint64),
+        bases_present=bases,
+        table_base=0,
+        bases_base=100,
+        data_base=200,
+        data_bytes=data_bytes,
+        dump_base=500,
+        dump_bytes=dump_bytes,
+    )
+
+
+class TestFrameLayout:
+    def test_table_bytes_with_bitmap(self):
+        layout = make_layout(n=16)
+        assert layout.bitmap_bytes == 2
+        assert layout.table_bytes == 16 * 4 + 2
+
+    def test_pointer_mode_has_no_bitmap(self):
+        layout = make_layout(mode=LayoutMode.POINTER)
+        assert layout.bitmap_bytes == 0
+
+    def test_raw_mode_has_no_metadata(self):
+        layout = make_layout(mode=LayoutMode.RAW, bases=False,
+                             dump_bytes=0)
+        assert layout.table_bytes == 0
+        assert layout.metadata_bytes == 0
+
+    def test_savings_math(self):
+        # 4 blocks of 48 B raw = 192 B; stored 96 B data + metadata.
+        layout = make_layout(n=4, data_bytes=96, dump_bytes=0)
+        expected_meta = (4 * 4 + 1) + 4 * 3  # table+bitmap, bases
+        assert layout.metadata_bytes == expected_meta
+        assert layout.savings == pytest.approx(
+            1.0 - (96 + expected_meta) / 192)
+
+    def test_negative_savings_possible(self):
+        layout = make_layout(n=4, data_bytes=192)  # nothing matched
+        assert layout.savings < 0
+
+    def test_kind_masks(self):
+        layout = make_layout(n=4)
+        layout.kinds[1] = int(RecordKind.POINTER)
+        layout.kinds[3] = int(RecordKind.DIGEST)
+        assert layout.count(RecordKind.STORED) == 2
+        assert layout.count(RecordKind.POINTER) == 1
+        assert list(layout.mask(RecordKind.DIGEST)) == [
+            False, False, False, True]
+
+    def test_raw_with_bases_rejected(self):
+        with pytest.raises(LayoutError):
+            make_layout(mode=LayoutMode.RAW, bases=True)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(LayoutError):
+            FrameLayout(
+                frame_index=0, mode=LayoutMode.POINTER, n_blocks=4,
+                block_bytes=48,
+                kinds=np.zeros(3, dtype=np.uint8),
+                pointers=np.zeros(4, dtype=np.int64),
+                digests=np.zeros(4, dtype=np.uint64),
+                bases_present=False, table_base=0, bases_base=0,
+                data_base=0, data_bytes=0, dump_base=0, dump_bytes=0)
+
+
+class TestSequentialLines:
+    def test_exact_span(self):
+        lines = sequential_lines(0, 128, 64)
+        assert list(lines) == [0, 64]
+
+    def test_unaligned_span(self):
+        lines = sequential_lines(60, 10, 64)  # crosses one boundary
+        assert list(lines) == [0, 64]
+
+    def test_empty(self):
+        assert len(sequential_lines(100, 0, 64)) == 0
+
+    @given(st.integers(0, 10_000), st.integers(1, 5_000))
+    @settings(max_examples=50, deadline=None)
+    def test_covers_every_byte(self, base, nbytes):
+        lines = sequential_lines(base, nbytes, 64)
+        assert lines[0] <= base
+        assert lines[-1] + 64 >= base + nbytes
+        assert (np.diff(lines) == 64).all()
+
+
+class TestStreamCoalescing:
+    def test_coalesced_pointer_stream(self):
+        # 32 pointers of 4 B = 128 B = 2 line writes.
+        lines = coalesced_stream_lines(0, 4, 32, 64)
+        assert len(lines) == 2
+
+    def test_uncoalesced_pointer_stream(self):
+        # One write per pointer; pointer 15 straddles no boundary
+        # (4-byte items align), so exactly 32 writes.
+        lines = uncoalesced_stream_lines(0, 4, 32, 64)
+        assert len(lines) == 32
+
+    def test_uncoalesced_blocks_straddle(self):
+        # 48-byte items: offsets 0, 48, 96...: half straddle lines.
+        lines = uncoalesced_stream_lines(0, 48, 8, 64)
+        assert len(lines) > 8
+
+    def test_coalescing_always_fewer_or_equal(self):
+        for item, count in ((3, 100), (4, 64), (48, 20)):
+            coalesced = coalesced_stream_lines(0, item, count, 64)
+            uncoalesced = uncoalesced_stream_lines(0, item, count, 64)
+            assert len(coalesced) <= len(uncoalesced)
+
+
+class TestBlockSpanLines:
+    def test_aligned_block_one_line(self):
+        lines = block_span_lines(np.asarray([0]), 48, 64)
+        assert list(lines) == [0]
+
+    def test_straddling_block_two_lines(self):
+        lines = block_span_lines(np.asarray([32]), 48, 64)
+        assert list(lines) == [0, 64]
+
+    def test_order_preserved(self):
+        addrs = np.asarray([128, 32, 0])
+        lines = block_span_lines(addrs, 48, 64)
+        assert list(lines) == [128, 0, 64, 0]
+
+    def test_fragmentation_count(self):
+        # Offsets mod 64 of 0, 48, 96=32, 144=16: 48 and 32 straddle.
+        addrs = np.arange(4) * 48
+        assert fragmentation_count(addrs, 48, 64) == 2
+
+    def test_empty(self):
+        assert len(block_span_lines(np.empty(0, dtype=np.int64), 48)) == 0
+        assert fragmentation_count(np.empty(0, dtype=np.int64), 48) == 0

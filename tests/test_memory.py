@@ -1,0 +1,272 @@
+"""Tests for the LPDDR3 memory subsystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DramConfig
+from repro.errors import MemoryModelError
+from repro.memory import (
+    AddressMapper,
+    MemoryController,
+    RegionMap,
+    burst_duration,
+    memory_energy,
+    peak_bandwidth,
+)
+from repro.memory.rowbuffer import BankState, RowBufferModel
+
+
+def small_dram(**overrides) -> DramConfig:
+    defaults = dict(channels=2, ranks_per_channel=1, banks_per_rank=4,
+                    row_bytes=1024, row_max_open=1e-6, scheduler_quantum=0.0)
+    defaults.update(overrides)
+    return DramConfig(**defaults)
+
+
+class TestAddressMapper:
+    def test_consecutive_lines_alternate_channels(self):
+        config = small_dram()
+        mapper = AddressMapper(config)
+        bank0, _ = mapper.map_line(0)
+        bank1, _ = mapper.map_line(64)
+        # RoRaBaCoCh: the channel bit sits right above the line offset.
+        assert bank0 != bank1
+
+    def test_sequential_stream_sweeps_row_before_bank(self):
+        config = small_dram()
+        mapper = AddressMapper(config)
+        # Lines 0, 2, 4, ... stay on channel 0; the first
+        # lines_per_row of them share (bank, row).
+        per_row = config.lines_per_row
+        lines = np.arange(0, per_row * 4, 2) * 64
+        banks, rows = mapper.map_lines(lines)
+        same_row = set(zip(banks[:per_row].tolist(), rows[:per_row].tolist()))
+        assert len(same_row) == 1
+        assert (banks[per_row] != banks[0]) or (rows[per_row] != rows[0])
+
+    def test_row_changes_after_all_banks(self):
+        config = small_dram()
+        mapper = AddressMapper(config)
+        bytes_per_row_sweep = (config.row_bytes * config.banks_per_rank
+                               * config.channels)
+        _, row_a = mapper.map_line(0)
+        _, row_b = mapper.map_line(bytes_per_row_sweep)
+        assert row_b == row_a + 1
+
+    def test_vector_matches_scalar(self, rng):
+        config = small_dram()
+        mapper = AddressMapper(config)
+        addresses = rng.integers(0, 1 << 24, size=100)
+        banks, rows = mapper.map_lines(addresses)
+        for i in range(100):
+            bank, row = mapper.map_line(int(addresses[i]))
+            assert (bank, row) == (int(banks[i]), int(rows[i]))
+
+    def test_bank_ids_in_range(self, rng):
+        config = small_dram()
+        mapper = AddressMapper(config)
+        banks, _ = mapper.map_lines(rng.integers(0, 1 << 28, size=1000))
+        assert banks.min() >= 0
+        assert banks.max() < config.total_banks
+
+
+class TestRegionMap:
+    def test_regions_dont_overlap(self):
+        config = small_dram()
+        regions = RegionMap(config)
+        a = regions.add("a", 1000)
+        b = regions.add("b", 5000)
+        assert a.end <= b.base
+
+    def test_row_padding(self):
+        config = small_dram()
+        regions = RegionMap(config)
+        region = regions.add("x", 1)
+        assert region.size % (config.row_bytes * config.channels) == 0
+
+    def test_duplicate_name_rejected(self):
+        regions = RegionMap(small_dram())
+        regions.add("x", 10)
+        with pytest.raises(MemoryModelError):
+            regions.add("x", 10)
+
+    def test_offset_bounds(self):
+        regions = RegionMap(small_dram())
+        region = regions.add("x", 100)
+        with pytest.raises(MemoryModelError):
+            region.address(region.size)
+
+    def test_lookup(self):
+        regions = RegionMap(small_dram())
+        regions.add("x", 10)
+        assert "x" in regions
+        with pytest.raises(MemoryModelError):
+            regions["y"]
+
+
+class TestBankState:
+    def test_first_access_activates(self):
+        bank = BankState()
+        assert bank.access(row=5, time=0.0, max_open=1e-6)
+
+    def test_same_row_within_window_hits(self):
+        bank = BankState()
+        bank.access(5, 0.0, 1e-6)
+        assert not bank.access(5, 0.5e-6, 1e-6)
+
+    def test_timeout_forces_reactivation(self):
+        bank = BankState()
+        bank.access(5, 0.0, 1e-6)
+        assert bank.access(5, 2e-6, 1e-6)
+
+    def test_row_conflict(self):
+        bank = BankState()
+        bank.access(5, 0.0, 1e-6)
+        assert bank.access(6, 0.1e-6, 1e-6)
+
+
+class TestMemoryController:
+    def test_sequential_stream_hits_rows(self):
+        config = small_dram()
+        controller = MemoryController(config)
+        n = 256
+        addresses = np.arange(n) * 64
+        times = np.arange(n) * 1e-9
+        acts = controller.process_window(
+            times, addresses, np.zeros(n, dtype=bool))
+        # A sequential sweep activates each (bank, row) once.
+        banks, rows = controller.mapper.map_lines(addresses)
+        distinct = len(set(zip(banks.tolist(), rows.tolist())))
+        assert acts == distinct
+
+    def test_interleaved_streams_thrash(self):
+        config = small_dram()
+        n = 64
+        # Two streams on the same bank, different rows, alternating.
+        row_stride = config.row_bytes * config.banks_per_rank * config.channels
+        stream_a = np.arange(n) % 2 * 0  # constant line 0
+        stream_b = np.full(n, 10 * row_stride)
+        addresses = np.empty(2 * n, dtype=np.int64)
+        addresses[0::2] = stream_a
+        addresses[1::2] = stream_b
+        times = np.arange(2 * n) * 1e-9
+        controller = MemoryController(config)
+        acts = controller.process_window(
+            times, addresses, np.zeros(2 * n, dtype=bool))
+        assert acts == 2 * n  # every access reopens
+
+    def test_quantum_groups_row_hits(self):
+        # Same thrashing pattern, but an FR-FCFS quantum covering the
+        # whole window lets the controller serve each row's accesses
+        # together: only two activations.
+        config = small_dram(scheduler_quantum=1.0)
+        n = 64
+        row_stride = config.row_bytes * config.banks_per_rank * config.channels
+        addresses = np.empty(2 * n, dtype=np.int64)
+        addresses[0::2] = 0
+        addresses[1::2] = 10 * row_stride
+        times = np.arange(2 * n) * 1e-9
+        controller = MemoryController(config)
+        acts = controller.process_window(
+            times, addresses, np.zeros(2 * n, dtype=bool))
+        assert acts == 2
+
+    def test_state_carries_across_windows(self):
+        config = small_dram()
+        controller = MemoryController(config)
+        ones = np.ones(1, dtype=bool)
+        assert controller.process_window(
+            np.asarray([0.0]), np.asarray([0]), ~ones) == 1
+        # Same row shortly after, in a new window: row is still open.
+        assert controller.process_window(
+            np.asarray([1e-7]), np.asarray([0]), ~ones) == 0
+
+    def test_matches_scalar_reference(self, rng):
+        """Vectorized controller == scalar RowBufferModel, access by access."""
+        config = small_dram()
+        n = 500
+        addresses = rng.integers(0, 1 << 16, size=n) // 64 * 64
+        times = np.sort(rng.uniform(0, 1e-4, size=n))
+        controller = MemoryController(config)
+        acts = controller.process_window(
+            times, addresses, np.zeros(n, dtype=bool))
+        reference = RowBufferModel(config)
+        mapper = AddressMapper(config)
+        order = np.lexsort((times, mapper.map_lines(addresses)[0]))
+        for index in order:
+            bank, row = mapper.map_line(int(addresses[index]))
+            reference.access(bank, row, float(times[index]))
+        assert acts == reference.activations
+
+    def test_read_write_attribution(self):
+        config = small_dram()
+        controller = MemoryController(config)
+        times = np.asarray([0.0, 1e-9, 2e-9])
+        addresses = np.asarray([0, 64, 128])
+        writes = np.asarray([True, False, True])
+        controller.process_window(times, addresses, writes,
+                                  agents={"vd": writes, "dc": ~writes})
+        assert controller.stats.write_bursts == 2
+        assert controller.stats.read_bursts == 1
+        assert controller.stats.by_agent == {"vd": 2, "dc": 1}
+
+    def test_empty_window(self):
+        controller = MemoryController(small_dram())
+        assert controller.process_window(
+            np.empty(0), np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=bool)) == 0
+
+    def test_mismatched_lengths_rejected(self):
+        controller = MemoryController(small_dram())
+        with pytest.raises(MemoryModelError):
+            controller.process_window(
+                np.zeros(2), np.zeros(3, dtype=np.int64),
+                np.zeros(2, dtype=bool))
+
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_mapper_total_ordering(self, address):
+        mapper = AddressMapper(small_dram())
+        bank, row = mapper.map_line(address)
+        assert 0 <= bank < 8
+        assert row >= 0
+
+
+class TestMemoryEnergy:
+    def test_components(self):
+        config = small_dram()
+        controller = MemoryController(config)
+        n = 100
+        controller.process_window(
+            np.arange(n) * 1e-9, np.arange(n) * 64, np.zeros(n, dtype=bool))
+        energy = memory_energy(config, controller.stats, elapsed=1.0)
+        assert energy.act_pre == pytest.approx(
+            controller.stats.activations * config.act_pre_energy)
+        assert energy.burst == pytest.approx(n * config.burst_energy)
+        assert energy.background == pytest.approx(config.background_power)
+        assert energy.total == pytest.approx(
+            energy.act_pre + energy.burst + energy.background)
+
+    def test_scaled_keeps_background(self):
+        config = small_dram()
+        controller = MemoryController(config)
+        controller.process_window(
+            np.asarray([0.0]), np.asarray([0]), np.asarray([False]))
+        energy = memory_energy(config, controller.stats, elapsed=2.0)
+        scaled = energy.scaled(10.0)
+        assert scaled.act_pre == pytest.approx(energy.act_pre * 10)
+        assert scaled.background == pytest.approx(energy.background)
+
+
+class TestDerivedTiming:
+    def test_peak_bandwidth(self):
+        config = small_dram(io_freq=800e6, channels=2)
+        assert peak_bandwidth(config) == pytest.approx(12.8e9)
+
+    def test_burst_duration(self):
+        config = small_dram(io_freq=800e6)
+        assert burst_duration(config) == pytest.approx(10e-9)

@@ -1,0 +1,158 @@
+"""End-to-end pipeline integration tests.
+
+These exercise the full simulate() flow at a small frame count and
+assert the paper's qualitative behaviours hold on every run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import simulate, workload
+from repro.config import (
+    BASELINE,
+    BATCHING,
+    GAB,
+    MAB,
+    RACE_TO_SLEEP,
+    RACING,
+    SimulationConfig,
+    VideoConfig,
+)
+from repro.decoder.power import PowerState
+
+FRAMES = 64
+
+
+@pytest.fixture(scope="module")
+def v8_runs():
+    schemes = (BASELINE, BATCHING, RACING, RACE_TO_SLEEP, MAB, GAB)
+    return {s.name: simulate(workload("V8"), s, n_frames=FRAMES, seed=5)
+            for s in schemes}
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = simulate(workload("V5"), BASELINE, n_frames=24, seed=9)
+        b = simulate(workload("V5"), BASELINE, n_frames=24, seed=9)
+        assert a.energy.total == b.energy.total
+        assert a.drops == b.drops
+        assert (a.timeline.decode_time == b.timeline.decode_time).all()
+
+    def test_different_seed_different_traffic(self):
+        a = simulate(workload("V5"), BASELINE, n_frames=24, seed=1)
+        b = simulate(workload("V5"), BASELINE, n_frames=24, seed=2)
+        assert a.energy.total != b.energy.total
+
+
+class TestEnergyAccounting:
+    def test_breakdown_sums(self, v8_runs):
+        for result in v8_runs.values():
+            total = sum(result.energy.as_dict().values())
+            assert total == pytest.approx(result.energy.total)
+            assert result.energy.total > 0
+
+    def test_residency_sums_to_one(self, v8_runs):
+        for result in v8_runs.values():
+            assert sum(result.residency.values()) == pytest.approx(1.0,
+                                                                   abs=1e-6)
+
+    def test_mach_overhead_only_for_mach_schemes(self, v8_runs):
+        assert v8_runs["Baseline"].energy.mach_overhead == 0.0
+        assert v8_runs["Race-to-Sleep"].energy.mach_overhead == 0.0
+        assert v8_runs["MAB"].energy.mach_overhead > 0.0
+        assert v8_runs["GAB"].energy.mach_overhead > 0.0
+
+    def test_timeline_energy_matches_tracker(self, v8_runs):
+        for result in v8_runs.values():
+            timeline_total = result.timeline.total_energy.sum()
+            tracker_total = (result.energy.vd_total)
+            assert timeline_total == pytest.approx(tracker_total, rel=1e-6)
+
+
+class TestPaperBehaviours:
+    def test_rts_eliminates_drops(self, v8_runs):
+        assert v8_runs["Race-to-Sleep"].drops == 0
+        assert v8_runs["MAB"].drops == 0
+        assert v8_runs["GAB"].drops == 0
+
+    def test_rts_deep_sleep_dominates_baseline(self, v8_runs):
+        assert (v8_runs["Race-to-Sleep"].residency[PowerState.S3]
+                > 3 * v8_runs["Baseline"].residency[PowerState.S3])
+
+    def test_batching_cuts_transitions(self, v8_runs):
+        assert (v8_runs["Batching"].transitions
+                < v8_runs["Baseline"].transitions / 4)
+
+    def test_racing_halves_decode_time(self, v8_runs):
+        base = v8_runs["Baseline"].timeline.decode_time.mean()
+        race = v8_runs["Racing"].timeline.decode_time.mean()
+        assert race == pytest.approx(base / 2, rel=0.01)
+
+    def test_gab_saves_write_traffic(self, v8_runs):
+        assert v8_runs["GAB"].write_savings > v8_runs["MAB"].write_savings
+        assert v8_runs["GAB"].write_savings > 0.2
+
+    def test_gab_saves_read_traffic(self, v8_runs):
+        assert v8_runs["GAB"].read_savings > 0.15
+
+    def test_gab_cheapest_overall(self, v8_runs):
+        energies = {name: r.energy.total for name, r in v8_runs.items()}
+        assert min(energies, key=energies.get) == "GAB"
+
+    def test_racing_costs_energy_alone(self, v8_runs):
+        assert (v8_runs["Racing"].energy.total
+                > v8_runs["Baseline"].energy.total)
+
+    def test_batching_needs_more_framebuffer(self, v8_runs):
+        assert (v8_runs["Batching"].peak_footprint_native_mb
+                > 2 * v8_runs["Baseline"].peak_footprint_native_mb)
+
+    def test_mach_schemes_write_fewer_bytes(self, v8_runs):
+        assert v8_runs["GAB"].write_bytes < v8_runs["Baseline"].write_bytes
+        assert (v8_runs["Baseline"].write_bytes
+                == v8_runs["Baseline"].raw_write_bytes)
+
+
+class TestDisplaySemantics:
+    def test_baseline_dropped_frames_marked(self):
+        result = simulate(workload("V3"), BASELINE, n_frames=96, seed=11)
+        assert result.drops == int(result.timeline.dropped.sum())
+
+    def test_deadlines_are_one_refresh_after_slot(self):
+        result = simulate(workload("V5"), BASELINE, n_frames=24, seed=0)
+        interval = 1 / 60.0
+        expected = (np.arange(24) + 1) * interval
+        assert np.allclose(result.timeline.deadline, expected)
+
+    def test_all_frames_decoded(self, v8_runs):
+        for result in v8_runs.values():
+            assert (result.timeline.decode_time > 0).all()
+            assert (result.timeline.finish > 0).all()
+
+
+class TestConfigurationVariants:
+    def test_smaller_resolution_runs(self):
+        cfg = SimulationConfig(video=VideoConfig(width=96, height=48))
+        result = simulate(workload("V8"), GAB, n_frames=16, config=cfg,
+                          seed=1)
+        assert result.n_frames == 16
+        assert result.energy.total > 0
+
+    def test_unbounded_mach_beats_lru(self):
+        lru = simulate(workload("V8"), GAB, n_frames=32, seed=2)
+        oracle = simulate(workload("V8"), GAB, n_frames=32, seed=2,
+                          unbounded_mach=True)
+        assert oracle.write_savings >= lru.write_savings
+
+    def test_ablations_cost_reads(self):
+        full = simulate(workload("V8"), GAB, n_frames=32, seed=2)
+        naive = simulate(workload("V8"), GAB, n_frames=32, seed=2,
+                         use_display_cache=False, use_mach_buffer=False)
+        assert naive.read_stats.mem_reads > full.read_stats.mem_reads
+
+    def test_eager_buffer_policy_runs(self):
+        result = simulate(workload("V8"), GAB, n_frames=24, seed=2,
+                          buffer_policy="eager")
+        assert result.read_stats.prefetch_reads > 0

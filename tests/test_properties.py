@@ -1,0 +1,81 @@
+"""Property-based invariants over the end-to-end pipeline.
+
+Hypothesis draws scheme shapes and content profiles; every generated
+run must satisfy the structural invariants the energy accounting and
+scheduling depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import simulate
+from repro.config import SchemeConfig, SimulationConfig, VideoConfig
+from repro.video import VideoProfile
+
+_TINY = SimulationConfig(video=VideoConfig(width=64, height=32))
+
+_scheme_strategy = st.builds(
+    SchemeConfig,
+    name=st.just("prop"),
+    batch_size=st.sampled_from([1, 3, 8]),
+    racing=st.booleans(),
+    content_cache=st.sampled_from([None, "mab", "gab"]),
+).map(lambda s: SchemeConfig(
+    name=s.name, batch_size=s.batch_size, racing=s.racing,
+    content_cache=s.content_cache,
+    display_caching=s.content_cache is not None))
+
+_profile_strategy = st.builds(
+    VideoProfile,
+    key=st.just("P"),
+    name=st.just("prop"),
+    description=st.just("generated"),
+    n_frames=st.just(16),
+    f_common=st.floats(0.1, 0.6),
+    f_unique=st.floats(0.0, 0.2),
+    f_flat=st.floats(0.0, 0.6),
+    p_offset=st.floats(0.0, 0.9),
+    p_update=st.floats(0.0, 0.3),
+    complexity_mean=st.floats(0.85, 1.1),
+)
+
+
+class TestPipelineInvariants:
+    @given(scheme=_scheme_strategy, profile=_profile_strategy,
+           seed=st.integers(0, 3))
+    @settings(max_examples=12, deadline=None)
+    def test_accounting_invariants(self, scheme, profile, seed):
+        result = simulate(profile, scheme, n_frames=16, seed=seed,
+                          config=_TINY)
+        # Energy components are non-negative and sum to the total.
+        parts = result.energy.as_dict()
+        assert all(value >= 0 for value in parts.values())
+        assert sum(parts.values()) == pytest.approx(result.energy.total)
+        # Residencies form a distribution.
+        assert sum(result.residency.values()) == pytest.approx(1.0,
+                                                               abs=1e-6)
+        # Every frame decoded exactly once, after a positive duration.
+        assert (result.timeline.decode_time > 0).all()
+        assert (np.diff(result.timeline.finish) > 0).all()
+        # Write accounting: MACH never writes more than raw plus its
+        # bounded metadata (pointer+base+bitmap+dump per block).
+        assert result.write_bytes <= result.raw_write_bytes * 1.2
+        # Drops are consistent between the display and the timeline.
+        assert result.drops == int(result.timeline.dropped.sum())
+        # Savings are bounded.
+        assert result.write_savings <= 1.0
+        if result.read_stats is not None:
+            assert result.read_stats.savings <= 1.0
+
+    @given(profile=_profile_strategy)
+    @settings(max_examples=6, deadline=None)
+    def test_batching_never_drops_more_than_baseline(self, profile):
+        base = simulate(profile, SchemeConfig(name="b1"), n_frames=16,
+                        seed=1, config=_TINY)
+        batched = simulate(profile, SchemeConfig(name="b8", batch_size=8),
+                           n_frames=16, seed=1, config=_TINY)
+        assert batched.drops <= base.drops

@@ -1,0 +1,144 @@
+"""Tests for result containers, the energy breakdown, and units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import simulate, workload
+from repro.config import (
+    BASELINE,
+    GAB,
+    DisplayConfig,
+    MachConfig,
+    PowerStateConfig,
+)
+from repro.core.energy import EnergyBreakdown, build_breakdown
+from repro.core.results import compare_schemes
+from repro.decoder.power import PowerTracker, plan_slack
+from repro.memory.energy import MemoryEnergy
+from repro import units
+
+
+class TestUnits:
+    def test_time_helpers(self):
+        assert units.ms(16.6) == pytest.approx(0.0166)
+        assert units.us(5) == pytest.approx(5e-6)
+        assert units.ns(26) == pytest.approx(26e-9)
+        assert units.to_ms(0.0166) == pytest.approx(16.6)
+
+    def test_power_energy_helpers(self):
+        assert units.mw(300) == pytest.approx(0.3)
+        assert units.mj(5) == pytest.approx(5e-3)
+        assert units.to_mj(0.005) == pytest.approx(5.0)
+
+    def test_size_helpers(self):
+        assert units.kib(16) == 16384
+        assert units.mib(1) == 1 << 20
+        assert units.to_mib(1 << 21) == pytest.approx(2.0)
+
+    def test_frequency(self):
+        assert units.mhz(150) == pytest.approx(150e6)
+
+
+class TestEnergyBreakdown:
+    def test_total_is_sum(self):
+        breakdown = EnergyBreakdown(dc=1.0, mem_background=2.0,
+                                    vd_processing=3.0, mem_burst=0.5,
+                                    mem_act_pre=1.5)
+        assert breakdown.total == pytest.approx(8.0)
+        assert breakdown.memory_total == pytest.approx(4.0)
+        assert breakdown.vd_total == pytest.approx(3.0)
+
+    def test_normalized_to(self):
+        a = EnergyBreakdown(dc=2.0)
+        b = EnergyBreakdown(dc=1.0)
+        normalized = b.normalized_to(a)
+        assert normalized["dc"] == pytest.approx(0.5)
+
+    def test_per_frame_mj(self):
+        breakdown = EnergyBreakdown(dc=0.032)
+        assert breakdown.per_frame_mj(16) == pytest.approx(2.0)
+        assert EnergyBreakdown().per_frame_mj(0) == 0.0
+
+    def test_build_breakdown_components(self):
+        power = PowerStateConfig()
+        tracker = PowerTracker(power)
+        tracker.record_execution(0.01, 0.3)
+        tracker.record_slack(plan_slack(0.1, power))
+        memory = MemoryEnergy(act_pre=0.001, burst=0.0005,
+                              background=0.002)
+        breakdown = build_breakdown(tracker, memory, DisplayConfig(),
+                                    MachConfig(), GAB, elapsed=1.0)
+        assert breakdown.vd_processing == pytest.approx(0.003)
+        assert breakdown.mem_act_pre == pytest.approx(0.001)
+        assert breakdown.dc == pytest.approx(0.12)
+        # GAB pays the full MACH + display-cache + buffer power.
+        assert breakdown.mach_overhead > 0.03
+
+    def test_baseline_has_no_overhead(self):
+        power = PowerStateConfig()
+        tracker = PowerTracker(power)
+        memory = MemoryEnergy(0.0, 0.0, 0.0)
+        breakdown = build_breakdown(tracker, memory, DisplayConfig(),
+                                    MachConfig(), BASELINE, elapsed=1.0)
+        assert breakdown.mach_overhead == 0.0
+
+    def test_co_mach_adds_power(self):
+        from dataclasses import replace
+        power = PowerStateConfig()
+        tracker = PowerTracker(power)
+        memory = MemoryEnergy(0.0, 0.0, 0.0)
+        plain = build_breakdown(tracker, memory, DisplayConfig(),
+                                MachConfig(), GAB, elapsed=1.0)
+        deep = build_breakdown(tracker, memory, DisplayConfig(),
+                               replace(MachConfig(), co_mach=True), GAB,
+                               elapsed=1.0)
+        assert deep.mach_overhead > plain.mach_overhead
+
+
+class TestRunResultProperties:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate(workload("V8"), GAB, n_frames=24, seed=6)
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        for key in ("energy_mj_per_frame", "drop_rate", "s3_residency",
+                    "write_savings", "read_savings"):
+            assert key in summary
+
+    def test_savings_properties(self, result):
+        assert 0.0 < result.write_savings < 1.0
+        assert result.raw_write_bytes > result.write_bytes
+
+    def test_timeline_lengths(self, result):
+        assert len(result.timeline.decode_time) == 24
+        assert len(result.timeline.dropped) == 24
+
+
+class TestCompareSchemes:
+    def test_normalization(self):
+        results = [simulate(workload("V8"), scheme, n_frames=24, seed=6)
+                   for scheme in (BASELINE, GAB)]
+        comparison = compare_schemes(results)
+        normalized = comparison.normalized_energy()
+        assert normalized["Baseline"] == pytest.approx(1.0)
+        assert normalized["GAB"] < 1.0
+        assert comparison.savings("GAB") == pytest.approx(
+            1.0 - normalized["GAB"])
+
+    def test_component_stacks_sum(self):
+        results = [simulate(workload("V8"), scheme, n_frames=24, seed=6)
+                   for scheme in (BASELINE, GAB)]
+        stacks = compare_schemes(results).normalized_components()
+        assert sum(stacks["Baseline"].values()) == pytest.approx(1.0)
+
+    def test_mixed_videos_rejected(self):
+        a = simulate(workload("V8"), BASELINE, n_frames=12, seed=6)
+        b = simulate(workload("V9"), BASELINE, n_frames=12, seed=6)
+        with pytest.raises(ValueError):
+            compare_schemes([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_schemes([])

@@ -1,0 +1,34 @@
+"""Tests for the parallel experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BASELINE, GAB
+from repro.runner import normalized_matrix, run_matrix
+
+
+class TestRunMatrix:
+    def test_inline_matrix(self):
+        results = run_matrix(videos=["V8"], schemes=(BASELINE, GAB),
+                             n_frames=16, seed=2)
+        assert set(results) == {("V8", "Baseline"), ("V8", "GAB")}
+        assert results["V8", "GAB"].n_frames == 16
+
+    def test_parallel_matches_inline(self):
+        kwargs = dict(videos=["V8", "V1"], schemes=(BASELINE, GAB),
+                      n_frames=16, seed=2)
+        inline = run_matrix(processes=1, **kwargs)
+        parallel = run_matrix(processes=2, **kwargs)
+        assert set(inline) == set(parallel)
+        for key in inline:
+            assert inline[key].energy.total == pytest.approx(
+                parallel[key].energy.total)
+            assert inline[key].drops == parallel[key].drops
+
+    def test_normalized_matrix(self):
+        results = run_matrix(videos=["V8"], schemes=(BASELINE, GAB),
+                             n_frames=16, seed=2)
+        table = normalized_matrix(results)
+        assert table["V8"]["Baseline"] == pytest.approx(1.0)
+        assert 0 < table["V8"]["GAB"] < 1.5

@@ -1,0 +1,107 @@
+"""Tests for the network model and Race-to-Sleep governor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    BASELINE,
+    BATCHING,
+    RACE_TO_SLEEP,
+    DecoderConfig,
+    NetworkConfig,
+)
+from repro.core.batching import NetworkModel
+from repro.core.race_to_sleep import RaceToSleepGovernor
+
+
+def make_network(preroll=60, chunk=0.45, total=600) -> NetworkModel:
+    return NetworkModel(NetworkConfig(chunk_interval=chunk,
+                                      preroll_frames=preroll),
+                        fps=60.0, total_frames=total)
+
+
+class TestNetworkModel:
+    def test_preroll_available_at_start(self):
+        net = make_network(preroll=60)
+        assert net.frames_available(0.0) == 60
+
+    def test_chunks_accumulate(self):
+        net = make_network(preroll=60, chunk=0.5)
+        # chunk_frames = 30 at 60 fps.
+        assert net.frames_available(0.49) == 60
+        assert net.frames_available(0.5) == 90
+        assert net.frames_available(1.7) == 60 + 3 * 30
+
+    def test_capped_at_total(self):
+        net = make_network(preroll=60, total=70)
+        assert net.frames_available(100.0) == 70
+
+    def test_time_when_available_inverts(self):
+        net = make_network(preroll=60, chunk=0.5)
+        for count in (1, 60, 61, 90, 200):
+            t = net.time_when_available(count)
+            assert net.frames_available(t) >= min(count, net.total_frames)
+            if t > 0:
+                assert net.frames_available(t - 1e-6) < count
+
+    def test_negative_time(self):
+        assert make_network().frames_available(-1.0) == 0
+
+
+class TestGovernor:
+    def make(self, scheme, display_lead=1, preroll=300):
+        net = make_network(preroll=preroll)
+        return RaceToSleepGovernor(scheme, DecoderConfig(), net,
+                                   frame_interval=1 / 60.0,
+                                   display_lead=display_lead)
+
+    def test_baseline_wakes_at_call_time(self):
+        governor = self.make(BASELINE)
+        plan = governor.plan_wake(now=0.0, next_frame=10,
+                                  batch_buffers_free_time=0.0)
+        assert plan.wake_time == pytest.approx(10 / 60.0)
+        assert plan.reason == "immediate"
+
+    def test_baseline_never_wakes_in_past(self):
+        governor = self.make(BASELINE)
+        plan = governor.plan_wake(now=1.0, next_frame=10,
+                                  batch_buffers_free_time=0.0)
+        assert plan.wake_time == pytest.approx(1.0)
+
+    def test_batching_waits_for_buffers(self):
+        governor = self.make(BATCHING)
+        # Frame 60's deadline is ~1 s away, so the 0.1 s buffer-drain
+        # gate is what the governor waits for.
+        plan = governor.plan_wake(now=0.0, next_frame=60,
+                                  batch_buffers_free_time=0.1)
+        assert plan.wake_time == pytest.approx(0.1)
+        assert plan.reason == "batch-ready"
+
+    def test_deadline_overrides_batch_formation(self):
+        governor = self.make(BATCHING)
+        # Buffers would only free very late; frame 60's deadline forces
+        # an earlier wake.
+        plan = governor.plan_wake(now=0.0, next_frame=60,
+                                  batch_buffers_free_time=10.0)
+        assert plan.wake_time < 10.0
+        assert plan.reason == "deadline"
+        assert plan.wake_time <= governor.latest_safe_start(60)
+
+    def test_past_deadline_wakes_immediately(self):
+        governor = self.make(BATCHING)
+        # Frame 0's safe start is already in the past: wake now.
+        plan = governor.plan_wake(now=0.0, next_frame=0,
+                                  batch_buffers_free_time=10.0)
+        assert plan.wake_time == 0.0
+
+    def test_racing_shrinks_safety_margin(self):
+        slow = self.make(BATCHING)
+        fast = self.make(RACE_TO_SLEEP)
+        assert (fast.conservative_decode_time()
+                < slow.conservative_decode_time())
+        assert fast.latest_safe_start(5) > slow.latest_safe_start(5)
+
+    def test_deadline_lead(self):
+        governor = self.make(BASELINE, display_lead=2)
+        assert governor.deadline(10) == pytest.approx(12 / 60.0)

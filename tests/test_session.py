@@ -1,0 +1,96 @@
+"""Tests for the viewing-session layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BASELINE, GAB, NetworkConfig, SimulationConfig
+from repro.core.session import (
+    Pause,
+    Play,
+    SessionSimulator,
+    simulate_session,
+)
+from repro.video import workload
+
+
+FRAMES = 24
+
+
+class TestSessionComposition:
+    def test_single_segment(self):
+        result = simulate_session([Play(workload("V8"), FRAMES)], BASELINE,
+                                  seed=1)
+        assert len(result.segments) == 1
+        assert result.playback_energy > 0
+        assert result.playback_seconds > 0
+        # Cold start always rebuffers once.
+        assert result.stall_seconds > 0
+
+    def test_pause_adds_time_and_energy(self):
+        quiet = simulate_session([Play(workload("V8"), FRAMES)], BASELINE,
+                                 seed=1)
+        paused = simulate_session(
+            [Play(workload("V8"), FRAMES), Pause(10.0)], BASELINE, seed=1)
+        assert paused.pause_seconds == pytest.approx(10.0)
+        assert paused.total_energy > quiet.total_energy
+        assert paused.playback_energy == pytest.approx(
+            quiet.playback_energy)
+
+    def test_pause_is_cheaper_than_playback(self):
+        result = simulate_session(
+            [Play(workload("V8"), FRAMES), Pause(5.0)], BASELINE, seed=1)
+        playback_power = result.playback_energy / result.playback_seconds
+        pause_power = result.pause_energy / result.pause_seconds
+        assert pause_power < playback_power
+
+    def test_seek_rebuffers(self):
+        plain = simulate_session(
+            [Play(workload("V8"), FRAMES), Play(workload("V1"), FRAMES)],
+            BASELINE, seed=1)
+        seeking = simulate_session(
+            [Play(workload("V8"), FRAMES),
+             Play(workload("V1"), FRAMES, seek=True)],
+            BASELINE, seed=1)
+        assert seeking.stall_seconds > plain.stall_seconds
+        assert seeking.rebuffer_energy > plain.rebuffer_energy
+
+    def test_rebuffer_time_tracks_preroll(self):
+        fast = SimulationConfig(network=NetworkConfig(preroll_frames=27,
+                                                      chunk_interval=0.45))
+        slow = SimulationConfig(network=NetworkConfig(preroll_frames=270,
+                                                      chunk_interval=0.45))
+        a = SessionSimulator(BASELINE, fast)._rebuffer_seconds()
+        b = SessionSimulator(BASELINE, slow)._rebuffer_seconds()
+        assert b > a
+
+    def test_drops_aggregate(self):
+        result = simulate_session(
+            [Play(workload("V3"), 48), Play(workload("V3"), 48)],
+            BASELINE, seed=3)
+        assert result.drops == sum(r.drops for r in result.segments)
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(TypeError):
+            simulate_session(["not-an-event"], BASELINE)
+
+    def test_gab_session_beats_baseline(self):
+        events = [Play(workload("V8"), FRAMES), Pause(2.0),
+                  Play(workload("V14"), FRAMES, seek=True)]
+        base = simulate_session(events, BASELINE, seed=2)
+        gab = simulate_session(events, GAB, seed=2)
+        assert gab.playback_energy < base.playback_energy
+        # Idle states are scheme-independent.
+        assert gab.pause_energy == pytest.approx(base.pause_energy)
+
+    def test_average_power(self):
+        result = simulate_session([Play(workload("V8"), FRAMES)], BASELINE,
+                                  seed=1)
+        assert 0.1 < result.average_power < 10.0  # sane watts
+
+    def test_psr_flag_passthrough(self):
+        events = [Play(workload("V8"), FRAMES), Pause(5.0)]
+        plain = simulate_session(events, BASELINE, seed=1)
+        psr = simulate_session(events, BASELINE, seed=1,
+                               panel_self_refresh=True)
+        assert psr.pause_energy < plain.pause_energy

@@ -1,0 +1,186 @@
+"""Tests for the content-caching write engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GAB, MAB, BASELINE, DCC_ONLY, MachConfig, VideoConfig
+from repro.core.layout import LayoutMode, RecordKind
+from repro.core.writeback import WritebackEngine, slot_bytes_needed
+from repro.video.frame import DecodedFrame, FrameType
+
+
+def tiny_video() -> VideoConfig:
+    return VideoConfig(width=32, height=16)  # 32 blocks of 4x4
+
+
+def mach_config(**overrides) -> MachConfig:
+    defaults = dict(num_machs=4, entries_per_mach=16, ways=4)
+    defaults.update(overrides)
+    return MachConfig(**defaults)
+
+
+def frame_of(blocks: np.ndarray, index=0) -> DecodedFrame:
+    return DecodedFrame(index=index, frame_type=FrameType.P,
+                        blocks=blocks, complexity=1.0, encoded_bits=1000)
+
+
+def flat_frame(video: VideoConfig, color=(10, 20, 30), index=0) -> DecodedFrame:
+    pixel = np.asarray(color, dtype=np.uint8)
+    blocks = np.tile(pixel, (video.blocks_per_frame, video.block_bytes // 3))
+    return frame_of(blocks, index)
+
+
+def noise_frame(video: VideoConfig, seed=0, index=0) -> DecodedFrame:
+    rng = np.random.default_rng(seed)
+    blocks = rng.integers(0, 256, (video.blocks_per_frame,
+                                   video.block_bytes), dtype=np.uint8)
+    return frame_of(blocks, index)
+
+
+class TestRawWriteback:
+    def test_raw_layout(self):
+        video = tiny_video()
+        engine = WritebackEngine(video, mach_config(), BASELINE)
+        result = engine.process_frame(noise_frame(video), slot_base=0)
+        assert result.layout.mode is LayoutMode.RAW
+        assert result.bytes_written == video.frame_bytes
+        assert result.matches.none == video.blocks_per_frame
+        assert result.dump is None
+        # Sequential line writes covering the whole frame.
+        assert len(result.write_lines) == video.frame_bytes // 64
+
+    def test_dcc_compresses_flat_frame(self):
+        video = tiny_video()
+        engine = WritebackEngine(video, mach_config(), DCC_ONLY)
+        result = engine.process_frame(flat_frame(video), slot_base=0)
+        assert result.layout.mode is LayoutMode.RAW
+        assert result.bytes_written < video.frame_bytes / 4
+
+
+class TestMachWriteback:
+    def test_flat_frame_collapses_under_gab(self):
+        video = tiny_video()
+        engine = WritebackEngine(video, mach_config(), GAB)
+        result = engine.process_frame(flat_frame(video), slot_base=0)
+        # One stored block; the rest intra matches.
+        assert result.matches.none == 1
+        assert result.matches.intra == video.blocks_per_frame - 1
+        assert result.layout.data_bytes == video.block_bytes
+        assert result.layout.savings > 0.5
+
+    def test_multicolour_flat_matches_gab_not_mab(self):
+        video = tiny_video()
+        blocks = np.zeros((video.blocks_per_frame, video.block_bytes),
+                          dtype=np.uint8)
+        # Every block a different flat colour.
+        for i in range(video.blocks_per_frame):
+            blocks[i] = np.tile(np.asarray([i, 2 * i, 3 * i], np.uint8),
+                                video.block_bytes // 3)
+        gab_engine = WritebackEngine(video, mach_config(), GAB)
+        mab_engine = WritebackEngine(video, mach_config(), MAB)
+        gab_result = gab_engine.process_frame(frame_of(blocks), 0)
+        mab_result = mab_engine.process_frame(frame_of(blocks), 0)
+        assert gab_result.matches.intra == video.blocks_per_frame - 1
+        assert mab_result.matches.intra == 0  # all distinct as mabs
+
+    def test_inter_match_across_frames(self):
+        video = tiny_video()
+        # MACH large enough to retain every stored block of a frame.
+        engine = WritebackEngine(video, mach_config(entries_per_mach=64), GAB)
+        frame_a = noise_frame(video, seed=1, index=0)
+        engine.process_frame(frame_a, slot_base=0)
+        frame_b = frame_of(frame_a.blocks.copy(), index=1)
+        result = engine.process_frame(frame_b, slot_base=1 << 16)
+        # Nearly every block inter-matches (a set-conflict eviction in
+        # the finite MACH can lose the odd digest).
+        assert result.matches.inter >= video.blocks_per_frame - 2
+        assert result.matches.intra == 0
+        assert result.layout.count(RecordKind.DIGEST) == result.matches.inter
+
+    def test_digest_records_keep_donor_pointer(self):
+        video = tiny_video()
+        engine = WritebackEngine(video, mach_config(), GAB)
+        frame_a = noise_frame(video, seed=1, index=0)
+        first = engine.process_frame(frame_a, slot_base=0)
+        result = engine.process_frame(frame_of(frame_a.blocks.copy(), 1),
+                                      slot_base=1 << 16)
+        digest_mask = result.layout.mask(RecordKind.DIGEST)
+        # Donor addresses point into frame 0's slot (below 1<<16).
+        assert (result.layout.pointers[digest_mask] < (1 << 16)).all()
+        assert (result.layout.pointers[digest_mask]
+                >= first.layout.data_base).all()
+
+    def test_pointer_layout_mode_for_non_display_scheme(self):
+        from repro.config import SchemeConfig
+        video = tiny_video()
+        scheme = SchemeConfig(name="mach-only", batch_size=16, racing=True,
+                              content_cache="gab", display_caching=False)
+        engine = WritebackEngine(video, mach_config(entries_per_mach=64),
+                                 scheme)
+        frame_a = noise_frame(video, seed=1)
+        engine.process_frame(frame_a, slot_base=0)
+        result = engine.process_frame(frame_of(frame_a.blocks.copy(), 1),
+                                      slot_base=1 << 16)
+        assert result.layout.mode is LayoutMode.POINTER
+        assert result.layout.count(RecordKind.DIGEST) == 0
+        assert result.layout.count(
+            RecordKind.POINTER) >= video.blocks_per_frame - 2
+
+    def test_unbounded_oracle_beats_lru(self):
+        video = VideoConfig(width=96, height=48)
+        config = mach_config(entries_per_mach=8, ways=4, num_machs=2)
+        rng = np.random.default_rng(3)
+        # Content: 40 recurring blocks repeated; capacity 8/frame forces
+        # the LRU MACH to lose most of them, the oracle keeps all.
+        pool = rng.integers(0, 256, (40, video.block_bytes), dtype=np.uint8)
+        lru = WritebackEngine(video, config, GAB)
+        oracle = WritebackEngine(video, config, GAB, unbounded_mach=True)
+        for index in range(4):
+            picks = rng.integers(0, 40, video.blocks_per_frame)
+            frame = frame_of(pool[picks].copy(), index)
+            lru_result = lru.process_frame(frame, index << 16)
+            oracle_result = oracle.process_frame(
+                frame_of(pool[picks].copy(), index), index << 16)
+        assert oracle_result.matches.match_rate > lru_result.matches.match_rate
+
+    def test_frame_footprint_matches_layout(self):
+        video = tiny_video()
+        engine = WritebackEngine(video, mach_config(), GAB)
+        result = engine.process_frame(noise_frame(video), 0)
+        assert result.bytes_written == result.layout.total_bytes
+
+    def test_uncoalesced_issues_more_writes(self):
+        video = tiny_video()
+        coalesced = WritebackEngine(video, mach_config(coalescing=True), GAB)
+        scattered = WritebackEngine(video, mach_config(coalescing=False), GAB)
+        frame = noise_frame(video)
+        a = coalesced.process_frame(frame, 0)
+        b = scattered.process_frame(
+            frame_of(frame.blocks.copy()), 0)
+        assert len(b.write_lines) > len(a.write_lines)
+
+
+class TestSlotSizing:
+    def test_raw_slot_is_frame_bytes(self):
+        video = tiny_video()
+        assert slot_bytes_needed(video, mach_config(), BASELINE) == (
+            video.frame_bytes)
+
+    def test_mach_slot_has_metadata_headroom(self):
+        video = tiny_video()
+        raw = slot_bytes_needed(video, mach_config(), BASELINE)
+        gab = slot_bytes_needed(video, mach_config(), GAB)
+        assert gab > raw
+
+    def test_writeback_never_overflows_slot(self):
+        video = tiny_video()
+        config = mach_config()
+        engine = WritebackEngine(video, config, GAB)
+        slot = slot_bytes_needed(video, config, GAB)
+        for index in range(6):
+            result = engine.process_frame(noise_frame(video, seed=index,
+                                                      index=index),
+                                          slot_base=index * slot)
+            assert result.bytes_written <= slot

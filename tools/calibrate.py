@@ -1,0 +1,113 @@
+"""Calibration harness: measure every DESIGN.md section-5 target.
+
+Run:  python tools/calibrate.py [--frames N] [--videos V1,V2,...]
+
+Prints, per video and in aggregate:
+  * Fig. 2b region mix (baseline, 150 MHz);
+  * Fig. 7b content census (intra/inter/none, 16-frame window);
+  * realized MACH match rates and write savings (mab and gab);
+  * DC read savings (Fig. 10e) and digest fraction (Fig. 10d);
+  * normalized scheme energies (Fig. 11) and their component stacks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import simulate, workload
+from repro.analysis import content_census, region_mix
+from repro.analysis.tables import format_table
+from repro.config import (
+    BASELINE, BATCHING, GAB, MAB, RACE_TO_SLEEP, RACING,
+    SimulationConfig,
+)
+from repro.video import SyntheticVideo
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--frames", type=int, default=150)
+    parser.add_argument("--videos", type=str,
+                        default="V1,V3,V4,V8,V9,V12,V14")
+    args = parser.parse_args()
+    keys = args.videos.split(",")
+    cfg = SimulationConfig()
+    t0 = time.time()
+
+    # --- census + regions ------------------------------------------------
+    census_rows = []
+    agg = np.zeros(3)
+    for key in keys:
+        prof = workload(key)
+        stream = list(SyntheticVideo(cfg.video, prof, seed=7,
+                                     n_frames=args.frames))
+        census = content_census(stream)
+        gab_census = content_census(stream, use_gradient=True)
+        census_rows.append([
+            key, census.intra_fraction, census.inter_fraction,
+            census.none_fraction, gab_census.match_fraction,
+        ])
+        agg += [census.intra_fraction, census.inter_fraction,
+                census.none_fraction]
+    census_rows.append(["avg", *(agg / len(keys)), 0.0])
+    print(format_table(
+        ["video", "intra", "inter", "none", "gab-match"],
+        census_rows, title="\n== Fig 7b census (paper: .42/.15/.43) =="))
+
+    # --- schemes ------------------------------------------------------------
+    schemes = (BASELINE, BATCHING, RACING, RACE_TO_SLEEP, MAB, GAB)
+    energy_rows = []
+    detail_rows = []
+    norm_sums = np.zeros(len(schemes))
+    for key in keys:
+        prof = workload(key)
+        results = [simulate(prof, s, n_frames=args.frames, seed=7)
+                   for s in schemes]
+        base = results[0]
+        mix = region_mix(base.timeline.decode_time, cfg.video.frame_interval,
+                         cfg.decoder.power_states)
+        normalized = [r.energy.total / base.energy.total for r in results]
+        norm_sums += normalized
+        energy_rows.append([key] + normalized)
+        mab_r, gab_r = results[4], results[5]
+        detail_rows.append([
+            key,
+            base.drop_rate,
+            mix[list(mix)[0]], mix[list(mix)[1]],
+            mix[list(mix)[2]], mix[list(mix)[3]],
+            results[3].deep_sleep_residency,
+            mab_r.write_savings, gab_r.write_savings,
+            gab_r.read_savings,
+            gab_r.read_stats.digest_fraction,
+        ])
+    energy_rows.append(["avg"] + list(norm_sums / len(keys)))
+    print(format_table(
+        ["video"] + [s.name for s in schemes], energy_rows,
+        title="\n== Fig 11 normalized energy "
+              "(paper avg: 1.0/.93/1.12/.887/.875/.79) =="))
+    print(format_table(
+        ["video", "drops", "rI", "rII", "rIII", "rIV", "s3(RtS)",
+         "mab-wr", "gab-wr", "gab-rd", "dig-frac"],
+        detail_rows,
+        title="\n== details (paper: drops .04; regions .04/.12/.37/.40; "
+              "s3 .60; mab-wr .13; gab-wr .34; gab-rd .335; dig .38) =="))
+
+    # --- baseline component stack -----------------------------------------------
+    prof = workload(keys[0])
+    base = simulate(prof, BASELINE, n_frames=args.frames, seed=7)
+    comp_rows = [[k, v / base.energy.total]
+                 for k, v in base.energy.as_dict().items()]
+    print(format_table(
+        ["component", "fraction"], comp_rows,
+        title=f"\n== baseline component stack ({keys[0]}) "
+              "(targets: dc .12, bg .12, vd .22, burst .13, act .28) =="))
+    print(f"\nper-frame baseline energy: "
+          f"{base.energy.per_frame_mj(base.n_frames):.2f} mJ "
+          f"(target ~16); elapsed {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()
