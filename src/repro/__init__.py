@@ -52,6 +52,11 @@ _CORE_EXPORTS = {
     "Pause": ("core.session", "Pause"),
     "SessionResult": ("core.session", "SessionResult"),
     "simulate_session": ("core.session", "simulate_session"),
+    "BandwidthTrace": ("network.bandwidth", "BandwidthTrace"),
+    "DeliveryResult": ("network.delivery", "DeliveryResult"),
+    "DeliveredNetworkModel": ("network.delivery", "DeliveredNetworkModel"),
+    "simulate_delivery": ("network.delivery", "simulate_delivery"),
+    "deliver_for_config": ("network.delivery", "deliver_for_config"),
     "run_matrix": ("runner", "run_matrix"),
     "normalized_matrix": ("runner", "normalized_matrix"),
     "validate_against_paper": ("validation", "validate_against_paper"),
@@ -92,6 +97,11 @@ __all__ = [
     "RecordingPipeline",
     "RenderPipeline",
     "simulate_slack_dvfs",
+    "BandwidthTrace",
+    "DeliveryResult",
+    "DeliveredNetworkModel",
+    "simulate_delivery",
+    "deliver_for_config",
     "PAPER_WORKLOADS",
     "SyntheticVideo",
     "VideoProfile",

@@ -7,7 +7,10 @@ Subcommands:
 * ``census`` — run the Fig. 7b content census;
 * ``workloads`` — list the Table-1 video profiles;
 * ``trace`` — capture a synthetic stream to a ``.npz`` trace, or run a
-  saved trace (from any source) through a scheme.
+  saved trace (from any source) through a scheme;
+* ``network`` — trace-driven delivery: stalls, ABR switches, and the
+  radio's burst-vs-steady energy for a workload over a bandwidth
+  trace.
 """
 
 from __future__ import annotations
@@ -130,6 +133,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_network(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from .config import NetworkConfig
+    from .network import deliver_for_config
+    from .units import MBPS
+
+    base = NetworkConfig(
+        mode="trace",
+        trace_kind="file" if args.trace_file else args.trace,
+        trace_path=args.trace_file,
+        mean_bandwidth=args.bandwidth_mbps * MBPS,
+        trace_seed=args.seed,
+        abr=args.abr,
+    )
+    video = SimulationConfig().video
+    modes = (("steady", "burst") if args.mode == "both" else (args.mode,))
+    rows = []
+    for mode in modes:
+        network = dc_replace(base, download_mode=mode)
+        delivery = deliver_for_config(network, video,
+                                      source=workload(args.video),
+                                      n_frames=args.frames, seed=args.seed)
+        radio = delivery.radio
+        rows.append([
+            mode,
+            delivery.startup_seconds,
+            delivery.stall_seconds,
+            delivery.stall_events,
+            delivery.switches,
+            delivery.mean_rate / MBPS,
+            radio.active_energy, radio.tail_energy,
+            radio.idle_energy + radio.promotion_energy,
+            radio.total,
+        ])
+    if args.trace_file:
+        trace_name, mean_note = args.trace_file, ""
+    else:
+        trace_name = args.trace
+        mean_note = f"{args.bandwidth_mbps:g} Mbps mean, "
+    print(format_table(
+        ["mode", "startup s", "stall s", "stalls", "switches",
+         "Mbps", "active J", "tail J", "idle+promo J", "radio J"],
+        rows,
+        title=f"{args.video} over {trace_name!r} "
+              f"({mean_note}ABR={args.abr}, {args.frames} frames)"))
+    if len(rows) == 2 and rows[1][-1] < rows[0][-1]:
+        saving = 1 - rows[1][-1] / rows[0][-1]
+        print(f"\nburst downloads cut radio energy by {saving:.1%} "
+              "(the modem's race-to-sleep)")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .validation import summarize, validate_against_paper
 
@@ -184,6 +240,28 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--frames", type=int, default=120)
     trace.add_argument("--seed", type=int, default=0)
     trace.set_defaults(func=_cmd_trace)
+
+    network = sub.add_parser(
+        "network", help="trace-driven delivery: stalls, ABR, radio energy")
+    network.add_argument("--video", default="V8",
+                         help="workload key (default V8)")
+    network.add_argument("--frames", type=int, default=3600,
+                         help="frames to stream (default 3600 = 60 s)")
+    network.add_argument("--trace", default="lte",
+                         choices=("constant", "lte", "step"),
+                         help="synthetic bandwidth trace kind")
+    network.add_argument("--trace-file", default=None,
+                         help="timestamp,bytes_per_sec trace file "
+                              "(overrides --trace)")
+    network.add_argument("--bandwidth-mbps", type=float, default=24.0,
+                         help="mean link rate for synthetic traces")
+    network.add_argument("--abr", default="bba",
+                         choices=("fixed", "rate", "bba"))
+    network.add_argument("--mode", default="both",
+                         choices=("steady", "burst", "both"),
+                         help="download scheduling (default: compare both)")
+    network.add_argument("--seed", type=int, default=1)
+    network.set_defaults(func=_cmd_network)
 
     validate = sub.add_parser(
         "validate", help="check this build against the paper's claims")

@@ -18,9 +18,10 @@ see ``PaperCalibration`` and DESIGN.md section 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
 
 from .errors import ConfigError
-from .units import MHZ, MS, MW, NS, W, kib
+from .units import MBPS, MHZ, MS, MW, NS, W, kib
 
 CACHE_LINE_BYTES = 64
 BYTES_PER_PIXEL = 3  # RGB, as in the Android framebuffer the paper assumes.
@@ -217,9 +218,16 @@ class DramConfig:
     burst_energy: float = 2.35e-9  # J per 64-byte read or write burst
     background_power: float = 115 * MW
 
+    #: Self-refresh power as a fraction of active background power
+    #: (LPDDR3 datasheets put IDD6 at roughly 1/10th of IDD3N).  Used
+    #: when a PSR-capable panel lets the DRAM sleep during pauses.
+    self_refresh_fraction: float = 0.12
+
     def __post_init__(self) -> None:
         _require(self.channels >= 1 and self.banks_per_rank >= 1,
                  "need at least one channel and bank")
+        _require(0.0 <= self.self_refresh_fraction <= 1.0,
+                 "self-refresh fraction must be in [0, 1]")
         for name in ("row_bytes", "line_bytes"):
             value = getattr(self, name)
             _require(value > 0 and value & (value - 1) == 0,
@@ -347,22 +355,108 @@ class MachConfig:
         )
 
 
-@dataclass(frozen=True)
-class NetworkConfig:
-    """Streaming-source model: periodic chunk delivery into the buffer.
+#: Default DASH-style bitrate ladder for 4K-native content (rungs are
+#: 1.5 / 4 / 8 / 16 / 30 megabits per second, stored as bytes/s).
+DEFAULT_LADDER = tuple(x * MBPS for x in (1.5, 4.0, 8.0, 16.0, 30.0))
 
-    The paper observes YouTube buffering every 400-500 ms; our default
-    delivers half a second of frames every half second after an initial
-    pre-roll of several seconds.
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Modem power-state machine (LTE RRC/DRX-shaped, Table-less).
+
+    The modem is **active** while bits flow, holds a high-power
+    **tail** for ``tail_seconds`` after the last bit (the inactivity
+    timer), then demotes to **idle**; promotion back out of idle costs
+    latency and energy.  Defaults are in the range LTE measurement
+    studies report (~1.1 W active, ~0.6 W tail, ~10 mW idle, ~260 ms
+    promotion).
     """
 
-    chunk_interval: float = 0.45  # s between deliveries
+    active_power: float = 1.10 * W
+    tail_power: float = 0.62 * W
+    idle_power: float = 12 * MW
+    tail_seconds: float = 2.5
+    promotion_latency: float = 0.26
+    promotion_energy: float = 0.55  # J per idle -> active promotion
+
+    def __post_init__(self) -> None:
+        _require(self.idle_power <= self.tail_power <= self.active_power,
+                 "deeper radio states must consume less power")
+        _require(self.tail_seconds >= 0, "tail timer cannot be negative")
+        _require(self.promotion_latency >= 0 and self.promotion_energy >= 0,
+                 "promotion costs cannot be negative")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Streaming-source model.
+
+    Two modes:
+
+    * ``mode="chunked"`` (legacy) — the arithmetic stub: a fixed
+      pre-roll plus periodic chunk deliveries, no bandwidth
+      variability and no radio energy.  The paper observes YouTube
+      buffering every 400-500 ms; the default delivers half a second
+      of frames every half second.
+    * ``mode="trace"`` — the full delivery model
+      (:mod:`repro.network`): segments fetched over a bandwidth trace
+      under an ABR policy, with stalls emerging from playback-buffer
+      occupancy and the modem's burst energy accounted by
+      :class:`RadioConfig`.
+    """
+
+    chunk_interval: float = 0.45  # s between deliveries (chunked mode)
     preroll_frames: int = 120  # frames buffered before playback starts
     max_buffered_frames: int = 600
+
+    # -- delivery-model (mode="trace") parameters -----------------------
+    mode: str = "chunked"  # 'chunked' | 'trace'
+    trace_kind: str = "lte"  # 'constant' | 'lte' | 'step' | 'file'
+    trace_path: Optional[str] = None  # for trace_kind == 'file'
+    mean_bandwidth: float = 24 * MBPS  # bytes/s, synthetic generators
+    trace_seed: int = 1
+    segment_seconds: float = 1.0
+    ladder: Tuple[float, ...] = DEFAULT_LADDER  # bytes/s, ascending
+    abr: str = "bba"  # 'fixed' | 'rate' | 'bba'
+    abr_fixed_rung: int = 0  # rung for abr == 'fixed'
+    download_mode: str = "burst"  # 'steady' | 'burst'
+    low_watermark_seconds: float = 3.0  # burst mode: refill trigger
+    radio: RadioConfig = field(default_factory=RadioConfig)
 
     def __post_init__(self) -> None:
         _require(self.chunk_interval > 0, "chunk interval must be positive")
         _require(self.preroll_frames >= 1, "need at least one pre-rolled frame")
+        _require(self.preroll_frames <= self.max_buffered_frames,
+                 "pre-roll cannot exceed the buffer capacity")
+        _require(self.mode in ("chunked", "trace"),
+                 f"unknown network mode: {self.mode!r}")
+        _require(self.trace_kind in ("constant", "lte", "step", "file"),
+                 f"unknown trace kind: {self.trace_kind!r}")
+        if self.trace_kind == "file":
+            _require(self.trace_path is not None,
+                     "trace_kind='file' needs a trace_path")
+        _require(self.mean_bandwidth > 0, "mean bandwidth must be positive")
+        _require(self.segment_seconds > 0,
+                 "segment duration must be positive")
+        _require(len(self.ladder) >= 1 and self.ladder[0] > 0
+                 and all(b > a for a, b in zip(self.ladder, self.ladder[1:])),
+                 "ladder must be ascending and positive")
+        _require(self.abr in ("fixed", "rate", "bba"),
+                 f"unknown ABR policy: {self.abr!r}")
+        _require(0 <= self.abr_fixed_rung < len(self.ladder),
+                 "fixed ABR rung must index the ladder")
+        _require(self.download_mode in ("steady", "burst"),
+                 f"unknown download mode: {self.download_mode!r}")
+        _require(self.low_watermark_seconds >= 0,
+                 "low watermark cannot be negative")
+
+    def buffer_seconds(self, fps: float) -> float:
+        """Playback-buffer capacity in content seconds."""
+        return self.max_buffered_frames / fps
+
+    def preroll_seconds(self, fps: float) -> float:
+        """Startup pre-roll in content seconds."""
+        return self.preroll_frames / fps
 
 
 @dataclass(frozen=True)

@@ -12,8 +12,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Protocol
 
 from ..config import NetworkConfig
+
+
+class FrameSource(Protocol):
+    """Anything that can say when encoded frames are buffered.
+
+    Implemented by :class:`NetworkModel` (the legacy chunked stub) and
+    :class:`repro.network.DeliveredNetworkModel` (arrivals from a
+    trace-driven delivery run); the governor and pipeline accept
+    either.
+    """
+
+    def frames_available(self, time: float) -> int: ...
+
+    def time_when_available(self, count: int) -> float: ...
 
 
 @dataclass(frozen=True)

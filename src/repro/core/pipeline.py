@@ -39,7 +39,7 @@ from ..memory.controller import MemoryController
 from ..memory.energy import memory_energy
 from ..video.frame import FrameType
 from ..video.synthesis import SyntheticVideo, VideoProfile
-from .batching import NetworkModel
+from .batching import FrameSource, NetworkModel
 from .energy import build_breakdown
 from .race_to_sleep import RaceToSleepGovernor
 from .readpath import DisplayReadEngine
@@ -156,6 +156,7 @@ def simulate(
     use_display_cache: bool = True,
     use_mach_buffer: bool = True,
     buffer_policy: str = "lazy",
+    network_model: Optional[FrameSource] = None,
 ) -> RunResult:
     """Simulate playback of ``source`` under ``scheme``.
 
@@ -172,6 +173,11 @@ def simulate(
         use_display_cache / use_mach_buffer: ablation switches for the
             display read path (Fig. 10e's "original layout" bar).
         buffer_policy: MACH-buffer fill policy ('lazy' or 'eager').
+        network_model: frame-arrival source; defaults to the chunked
+            :class:`NetworkModel` stub from ``config.network``.  Pass
+            a :class:`repro.network.DeliveredNetworkModel` to drive
+            availability (and hence the Race-to-Sleep batch cap) from
+            a trace-driven delivery run.
 
     Returns:
         A :class:`RunResult` with the energy breakdown and statistics.
@@ -214,7 +220,8 @@ def simulate(
     memory = MemoryController(dram_cfg)
 
     # --- components -----------------------------------------------------------
-    network = NetworkModel(cfg.network, video_cfg.fps, count)
+    network = (network_model if network_model is not None
+               else NetworkModel(cfg.network, video_cfg.fps, count))
     governor = RaceToSleepGovernor(scheme, cfg.decoder, network,
                                    video_cfg.frame_interval, DISPLAY_LEAD)
     pool = FrameBufferPool(fb_region.base, slot_bytes, slots,

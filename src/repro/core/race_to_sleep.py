@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import DecoderConfig, SchemeConfig
-from .batching import NetworkModel
+from .batching import FrameSource
 
 #: Safety factor applied to the worst frame-type cycle count when
 #: estimating how long the next frame could take to decode.
@@ -39,7 +39,7 @@ class RaceToSleepGovernor:
     """Wake-time planning for a given scheme."""
 
     def __init__(self, scheme: SchemeConfig, decoder: DecoderConfig,
-                 network: NetworkModel, frame_interval: float,
+                 network: FrameSource, frame_interval: float,
                  display_lead: int) -> None:
         self.scheme = scheme
         self.decoder = decoder

@@ -13,6 +13,16 @@ for the inter-segment states:
   state as a pause, plus user-visible stall time while the network
   re-fills the pre-roll.
 
+How stalls are computed depends on ``config.network.mode``:
+
+* ``"chunked"`` (legacy) — a fixed pre-roll arithmetic stub;
+* ``"trace"`` — each :class:`Play` runs a trace-driven delivery
+  (:mod:`repro.network`): stalls emerge from playback-buffer
+  occupancy, frame availability inside the decode pipeline comes from
+  the realized arrivals (capping the Race-to-Sleep batch at the
+  downloaded-but-undecoded frames), and the modem's burst energy is
+  accounted in ``network_energy``.
+
 The session-level result aggregates energy, drops, and stall time —
 the three axes a streaming vendor actually balances.
 """
@@ -23,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
 from ..config import SchemeConfig, SimulationConfig
+from ..video.synthesis import VideoProfile
 from .pipeline import simulate
 from .results import RunResult
 
@@ -53,16 +64,18 @@ class SessionResult:
     playback_energy: float = 0.0
     pause_energy: float = 0.0
     rebuffer_energy: float = 0.0
+    network_energy: float = 0.0  # modem energy (trace mode only)
     playback_seconds: float = 0.0
     pause_seconds: float = 0.0
     stall_seconds: float = 0.0
     drops: int = 0
     segments: List[RunResult] = field(default_factory=list)
+    deliveries: List[object] = field(default_factory=list)
 
     @property
     def total_energy(self) -> float:
         return (self.playback_energy + self.pause_energy
-                + self.rebuffer_energy)
+                + self.rebuffer_energy + self.network_energy)
 
     @property
     def total_seconds(self) -> float:
@@ -75,10 +88,6 @@ class SessionResult:
                 if self.total_seconds else 0.0)
 
 
-#: Self-refresh DRAM power, as a fraction of active background power.
-_SELF_REFRESH_FRACTION = 0.12
-
-
 class SessionSimulator:
     """Runs a list of session events under one scheme.
 
@@ -86,7 +95,8 @@ class SessionSimulator:
     hybrid frame-buffer direction of the paper's display-optimization
     related work): during a pause the panel serves the frozen frame
     from its own buffer, the DC stops scanning DRAM, and the DRAM can
-    drop into self-refresh.
+    drop into self-refresh (``DramConfig.self_refresh_fraction`` of
+    its background power).
     """
 
     def __init__(self, scheme: SchemeConfig,
@@ -111,7 +121,7 @@ class SessionSimulator:
         video, dram = cfg.video, cfg.dram
         if self.panel_self_refresh:
             return (cfg.display.power
-                    + dram.background_power * _SELF_REFRESH_FRACTION
+                    + dram.background_power * dram.self_refresh_fraction
                     + cfg.decoder.power_states.s3_power)
         scale = video.scale_to_native
         lines = video.frame_bytes / dram.line_bytes
@@ -124,19 +134,39 @@ class SessionSimulator:
                 + per_refresh * cfg.display.refresh_hz)
 
     def _rebuffer_seconds(self) -> float:
-        """Stall until the pre-roll refills after a flush."""
+        """Stall until the pre-roll refills (legacy chunked stub)."""
         network = self.config.network
         chunk_frames = max(1, round(network.chunk_interval
                                     * self.config.video.fps))
         chunks_needed = -(-network.preroll_frames // chunk_frames)
         return chunks_needed * network.chunk_interval
 
+    # -- helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _event_frames(event: Play) -> Optional[int]:
+        """Resolve how many frames a Play will run (None = unknown)."""
+        if event.n_frames is not None:
+            return event.n_frames
+        if isinstance(event.source, VideoProfile):
+            return event.source.n_frames
+        try:
+            return len(event.source)
+        except TypeError:
+            return None
+
     # -- execution -----------------------------------------------------------------
 
     def run(self, events: Sequence[SessionEvent]) -> SessionResult:
         """Simulate the whole session."""
+        from ..network.delivery import (  # local: keep core importable alone
+            DeliveredNetworkModel,
+            deliver_for_config,
+        )
+
         result = SessionResult()
         idle_power = self._frozen_frame_power()
+        use_delivery = self.config.network.mode == "trace"
         segment_seed = self.seed
         for event in events:
             if isinstance(event, Pause):
@@ -145,13 +175,36 @@ class SessionSimulator:
                 continue
             if not isinstance(event, Play):
                 raise TypeError(f"unknown session event: {event!r}")
-            if event.seek or not result.segments:
+            count = self._event_frames(event)
+            if count == 0:
+                continue  # a zero-length Play is a no-op
+            cold_start = event.seek or not result.segments
+            network_model = None
+            if use_delivery and count is not None:
+                profile = (event.source
+                           if isinstance(event.source, VideoProfile)
+                           else None)
+                delivery = deliver_for_config(
+                    self.config.network, self.config.video,
+                    source=profile, n_frames=count, seed=segment_seed)
+                network_model = DeliveredNetworkModel(delivery, count)
+                result.deliveries.append(delivery)
+                result.network_energy += delivery.radio.total
+                # Mid-stream rebuffers always count; the startup wait
+                # only on a flush (cold start or seek) — a seamless
+                # clip-to-clip transition prefetches across the joint.
+                stall = delivery.stall_seconds
+                if cold_start:
+                    stall += delivery.startup_seconds
+                result.stall_seconds += stall
+                result.rebuffer_energy += stall * idle_power
+            elif cold_start:
                 stall = self._rebuffer_seconds()
                 result.stall_seconds += stall
                 result.rebuffer_energy += stall * idle_power
             run = simulate(event.source, self.scheme,
                            n_frames=event.n_frames, config=self.config,
-                           seed=segment_seed)
+                           seed=segment_seed, network_model=network_model)
             segment_seed += 1
             result.segments.append(run)
             result.playback_energy += run.energy.total

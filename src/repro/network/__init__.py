@@ -1,0 +1,74 @@
+"""Trace-driven streaming delivery, ABR, and radio burst energy.
+
+The delivery-side half of the energy story: where the decode pipeline
+(:mod:`repro.core`) races the video decoder to sleep, this subpackage
+models how encoded frames *arrive* — segments fetched over a
+bandwidth trace under an adaptive-bitrate policy, a playback buffer
+whose occupancy produces stalls, and a modem whose RRC-style power
+states make burst downloads the radio's own race-to-sleep.
+
+Entry points:
+
+* :func:`simulate_delivery` / :func:`deliver_for_config` — run the
+  event-driven download scheduler, returning a
+  :class:`DeliveryResult`;
+* :class:`DeliveredNetworkModel` — feed a delivery's arrivals into
+  the decode pipeline (``simulate(..., network_model=...)``);
+* :mod:`~repro.network.bandwidth` — seeded synthetic traces
+  (constant / LTE-like Markov / step-outage) and trace-file loading.
+"""
+
+from .abr import (
+    AbrContext,
+    AbrPolicy,
+    BufferBasedAbr,
+    FixedAbr,
+    RateBasedAbr,
+    abr_names,
+    make_abr,
+)
+from .bandwidth import (
+    BandwidthTrace,
+    constant_trace,
+    load_trace,
+    lte_trace,
+    save_trace,
+    step_trace,
+)
+from .buffer import PlaybackBuffer
+from .delivery import (
+    ChunkArrival,
+    DeliveredNetworkModel,
+    DeliveryResult,
+    deliver_for_config,
+    simulate_delivery,
+)
+from .radio import RadioEnergy, RadioModel
+from .segments import Segment, SegmentedVideo, segment_video
+
+__all__ = [
+    "AbrContext",
+    "AbrPolicy",
+    "BufferBasedAbr",
+    "FixedAbr",
+    "RateBasedAbr",
+    "abr_names",
+    "make_abr",
+    "BandwidthTrace",
+    "constant_trace",
+    "load_trace",
+    "lte_trace",
+    "save_trace",
+    "step_trace",
+    "PlaybackBuffer",
+    "ChunkArrival",
+    "DeliveredNetworkModel",
+    "DeliveryResult",
+    "deliver_for_config",
+    "simulate_delivery",
+    "RadioEnergy",
+    "RadioModel",
+    "Segment",
+    "SegmentedVideo",
+    "segment_video",
+]

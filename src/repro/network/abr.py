@@ -1,0 +1,126 @@
+"""Adaptive-bitrate policies.
+
+Each policy maps the client's observable state (buffer level, recent
+throughput) to a ladder rung for the next segment.  Policies are pure
+functions of their inputs, so delivery runs stay deterministic.
+
+* :class:`FixedAbr` — always the same rung (the non-adaptive control);
+* :class:`RateBasedAbr` — classic throughput-rule ABR: the highest
+  rung below a safety fraction of the harmonic-mean throughput;
+* :class:`BufferBasedAbr` — BBA-style: rung is a linear function of
+  buffer occupancy between a reservoir and a cushion, ignoring
+  throughput estimates entirely [Huang et al., SIGCOMM'14].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AbrContext:
+    """What the client knows when it picks the next segment's rung."""
+
+    buffer_seconds: float
+    buffer_capacity: float
+    throughput: float  # harmonic-mean recent throughput, bytes/s (0 = none)
+    last_rung: int  # rung of the previous segment (-1 before the first)
+
+
+class AbrPolicy:
+    """Base class: pick a ladder rung for the next segment."""
+
+    name = "abstract"
+
+    def select(self, ladder: Tuple[float, ...], context: AbrContext) -> int:
+        raise NotImplementedError
+
+
+class FixedAbr(AbrPolicy):
+    """Always fetch the same rung (clamped to the ladder)."""
+
+    name = "fixed"
+
+    def __init__(self, rung: int = 0) -> None:
+        self.rung = rung
+
+    def select(self, ladder: Tuple[float, ...], context: AbrContext) -> int:
+        return max(0, min(self.rung, len(ladder) - 1))
+
+
+class RateBasedAbr(AbrPolicy):
+    """Highest rung whose rate fits under ``safety x throughput``."""
+
+    name = "rate"
+
+    def __init__(self, safety: float = 0.85) -> None:
+        if not 0.0 < safety <= 1.0:
+            raise ConfigError("rate-ABR safety must be in (0, 1]")
+        self.safety = safety
+
+    def select(self, ladder: Tuple[float, ...], context: AbrContext) -> int:
+        if context.throughput <= 0:
+            return 0  # no estimate yet: start conservative
+        budget = self.safety * context.throughput
+        rung = 0
+        for index, rate in enumerate(ladder):
+            if rate <= budget:
+                rung = index
+        return rung
+
+
+class BufferBasedAbr(AbrPolicy):
+    """BBA-style linear map from buffer occupancy to rung.
+
+    Below the ``reservoir`` the lowest rung is fetched (refill fast);
+    above ``reservoir + cushion`` the top rung is; in between the rung
+    interpolates linearly.  Both knobs scale with the buffer capacity
+    when left as fractions.
+    """
+
+    name = "bba"
+
+    def __init__(self, reservoir_fraction: float = 0.2,
+                 cushion_fraction: float = 0.6) -> None:
+        if not 0.0 < reservoir_fraction < 1.0:
+            raise ConfigError("reservoir fraction must be in (0, 1)")
+        if not 0.0 < cushion_fraction <= 1.0 - reservoir_fraction:
+            raise ConfigError("reservoir + cushion must fit in the buffer")
+        self.reservoir_fraction = reservoir_fraction
+        self.cushion_fraction = cushion_fraction
+
+    def select(self, ladder: Tuple[float, ...], context: AbrContext) -> int:
+        reservoir = self.reservoir_fraction * context.buffer_capacity
+        cushion = self.cushion_fraction * context.buffer_capacity
+        top = len(ladder) - 1
+        if context.buffer_seconds <= reservoir:
+            return 0
+        if context.buffer_seconds >= reservoir + cushion:
+            return top
+        slope = (context.buffer_seconds - reservoir) / cushion
+        return int(slope * top)
+
+
+_POLICIES = {
+    "fixed": FixedAbr,
+    "rate": RateBasedAbr,
+    "bba": BufferBasedAbr,
+}
+
+
+def make_abr(name: str, **kwargs) -> AbrPolicy:
+    """Instantiate an ABR policy by registry name."""
+    try:
+        factory = _POLICIES[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown ABR policy {name!r}; "
+            f"choose from {sorted(_POLICIES)}") from None
+    return factory(**kwargs)
+
+
+def abr_names() -> Tuple[str, ...]:
+    return tuple(sorted(_POLICIES))

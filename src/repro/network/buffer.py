@@ -1,0 +1,69 @@
+"""Playback-buffer dynamics.
+
+The client-side buffer holds downloaded-but-unplayed content, measured
+in content seconds (the natural unit for ABR decisions and stall
+accounting — a second of buffer survives a second of outage no matter
+which rung it was fetched at).  Downloads fill it a segment at a time;
+playback drains it at one content-second per wall-second; an empty
+buffer during playback is a user-visible stall.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class PlaybackBuffer:
+    """Seconds-denominated playback buffer with stall accounting."""
+
+    def __init__(self, capacity_seconds: float) -> None:
+        if capacity_seconds <= 0:
+            raise ConfigError("buffer capacity must be positive")
+        self.capacity = float(capacity_seconds)
+        self.level = 0.0
+        self.stall_seconds = 0.0
+        self.stall_events = 0
+        self._in_stall = False
+
+    @property
+    def room(self) -> float:
+        """Content seconds the buffer can still accept."""
+        return max(0.0, self.capacity - self.level)
+
+    def fill(self, seconds: float) -> None:
+        """A downloaded segment lands (fills past capacity are a
+        scheduler bug, not a clamp — the scheduler gates on ``room``)."""
+        if seconds < 0:
+            raise ConfigError("cannot fill a negative duration")
+        self.level += seconds
+        if self.level > self.capacity + 1e-9:
+            raise ConfigError(
+                f"buffer overfilled: {self.level:.3f}s > "
+                f"{self.capacity:.3f}s capacity")
+
+    def play(self, wall_seconds: float, content_remaining: float) -> float:
+        """Drain for ``wall_seconds`` of playback; returns the content
+        seconds actually played.
+
+        The shortfall (``wall_seconds`` minus the return value) is
+        recorded as a stall only while undelivered content remains —
+        an empty buffer after the title finishes is not a stall.
+        """
+        if wall_seconds < 0:
+            raise ConfigError("cannot play a negative duration")
+        played = min(self.level, wall_seconds)
+        self.level -= played
+        shortfall = wall_seconds - played
+        if shortfall > 1e-12 and content_remaining > 1e-12:
+            self.stall_seconds += shortfall
+            if not self._in_stall:
+                self.stall_events += 1
+                self._in_stall = True
+        elif played > 0:
+            self._in_stall = False
+        return played
+
+    def drain_time_to(self, target_level: float) -> float:
+        """Wall seconds of uninterrupted playback until the buffer
+        drains to ``target_level`` (0 if already at or below it)."""
+        return max(0.0, self.level - target_level)

@@ -1,0 +1,317 @@
+"""Event-driven segment-download scheduler.
+
+:func:`simulate_delivery` plays the client side of a streaming session
+over a bandwidth trace: an ABR policy picks a rung for each segment,
+the segment is fetched over the trace (paying a radio promotion when
+the modem was idle), the playback buffer fills on arrival and drains
+at one content-second per wall-second, and stalls emerge wherever the
+buffer runs dry.  Two download modes bracket the radio's energy story:
+
+* **steady** — fetch the next segment as soon as there is room for
+  it.  Once the buffer is full this drips one segment per segment
+  duration, so the modem's tail timer never expires: the radio sits
+  in its high-power tail for the whole session.
+* **burst** — fill the buffer back-to-back, then let the modem sleep
+  until the buffer drains to a low watermark (BurstLink's recipe —
+  the delivery-side mirror of the paper's VD race-to-sleep).
+
+Everything is deterministic: the same ``(segmented, trace, abr,
+config)`` inputs produce a bit-identical :class:`DeliveryResult`.
+
+:class:`DeliveredNetworkModel` adapts a result to the
+``frames_available`` / ``time_when_available`` interface of
+:class:`repro.core.batching.NetworkModel`, with arrivals expressed in
+*playback* time (stall intervals removed), so the decode pipeline's
+Race-to-Sleep batcher sees exactly the downloaded-but-undecoded
+frames the delivery produced.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import NetworkConfig, RadioConfig, VideoConfig
+from ..errors import SchedulingError
+from ..video.synthesis import VideoProfile
+from .abr import AbrContext, AbrPolicy, make_abr
+from .bandwidth import (
+    BandwidthTrace,
+    constant_trace,
+    load_trace,
+    lte_trace,
+    step_trace,
+)
+from .buffer import PlaybackBuffer
+from .radio import RadioEnergy, RadioModel
+from .segments import SegmentedVideo, segment_video
+
+#: Throughput-estimator window (harmonic mean of the last N segments).
+_THROUGHPUT_WINDOW = 3
+
+
+@dataclass(frozen=True)
+class ChunkArrival:
+    """One downloaded segment."""
+
+    index: int
+    rung: int
+    size_bytes: int
+    n_frames: int
+    start: float  # wall time the radio went active for this chunk
+    finish: float  # wall time the last byte landed
+    playback_position: float  # content seconds consumed at ``finish``
+
+    @property
+    def throughput(self) -> float:
+        """Realized transfer rate, bytes/s."""
+        span = self.finish - self.start
+        return self.size_bytes / span if span > 0 else math.inf
+
+
+@dataclass(frozen=True)
+class DeliveryResult:
+    """Outcome of one trace-driven delivery run."""
+
+    chunks: Tuple[ChunkArrival, ...]
+    startup_seconds: float  # cold-start wait until the pre-roll filled
+    stall_seconds: float  # mid-playback rebuffering (buffer ran dry)
+    stall_events: int
+    switches: int  # rung changes between consecutive segments
+    radio: RadioEnergy
+    wall_seconds: float  # wall clock from first request to last frame
+    fps: float
+    n_frames: int
+    mean_rate: float  # duration-weighted mean of the fetched rungs
+
+    @property
+    def total_stall_seconds(self) -> float:
+        return self.startup_seconds + self.stall_seconds
+
+    def frame_arrival_playback(self) -> np.ndarray:
+        """Per-frame availability in *playback* time (stalls removed).
+
+        Frames of a segment that landed when the playhead was at
+        ``playback_position`` become decodable at that playback time,
+        which is exactly what the decode pipeline's clock measures.
+        """
+        times = np.empty(self.n_frames, dtype=np.float64)
+        cursor = 0
+        for chunk in self.chunks:
+            times[cursor:cursor + chunk.n_frames] = chunk.playback_position
+            cursor += chunk.n_frames
+        return times
+
+
+class DeliveredNetworkModel:
+    """``NetworkModel``-compatible availability from a delivery run."""
+
+    def __init__(self, result: DeliveryResult,
+                 total_frames: Optional[int] = None) -> None:
+        times = result.frame_arrival_playback()
+        if total_frames is not None:
+            if total_frames > len(times):
+                raise SchedulingError(
+                    f"delivery covered {len(times)} frames but the "
+                    f"pipeline needs {total_frames}")
+            times = times[:total_frames]
+        self._times = times
+        self.total_frames = len(times)
+
+    def frames_available(self, time: float) -> int:
+        """Frames downloaded by playback-time ``time``."""
+        if time < 0:
+            return 0
+        return int(np.searchsorted(self._times, time + 1e-12,
+                                   side="right"))
+
+    def time_when_available(self, count: int) -> float:
+        """Earliest playback time at which ``count`` frames are in."""
+        count = min(count, self.total_frames)
+        if count <= 0:
+            return 0.0
+        return float(self._times[count - 1])
+
+
+def _resolve_trace(network: NetworkConfig) -> BandwidthTrace:
+    """Build the configured bandwidth trace."""
+    kind = network.trace_kind
+    if kind == "constant":
+        return constant_trace(network.mean_bandwidth)
+    if kind == "lte":
+        # Cover long sessions; the last sample holds beyond duration.
+        return lte_trace(network.mean_bandwidth, duration=600.0,
+                         seed=network.trace_seed)
+    if kind == "step":
+        return step_trace(
+            (network.mean_bandwidth * 1.6, network.mean_bandwidth * 0.4,
+             network.mean_bandwidth * 1.6, 0.0),
+            period=8.0, repeats=80)
+    return load_trace(network.trace_path)
+
+
+def _resolve_abr(network: NetworkConfig) -> AbrPolicy:
+    if network.abr == "fixed":
+        return make_abr("fixed", rung=network.abr_fixed_rung)
+    return make_abr(network.abr)
+
+
+def _harmonic_mean(samples) -> float:
+    values = [s for s in samples if s > 0 and not math.isinf(s)]
+    if not values:
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def simulate_delivery(
+    segmented: SegmentedVideo,
+    trace: BandwidthTrace,
+    abr: AbrPolicy,
+    radio: RadioConfig,
+    download_mode: str = "burst",
+    preroll_seconds: float = 2.0,
+    capacity_seconds: float = 10.0,
+    low_watermark_seconds: float = 3.0,
+) -> DeliveryResult:
+    """Run the download/playback loop for one title.
+
+    The loop alternates between segment arrivals and buffer-drain
+    waits, advancing playback between events.  Playback starts once
+    ``preroll_seconds`` of content are buffered (or the whole title
+    is, for titles shorter than the pre-roll) and thereafter drains in
+    wall time, stalling when the buffer empties before the next
+    segment lands.
+    """
+    if download_mode not in ("steady", "burst"):
+        raise SchedulingError(f"unknown download mode: {download_mode!r}")
+    max_segment = max(s.duration for s in segmented.segments)
+    if capacity_seconds < max_segment:
+        raise SchedulingError("buffer cannot hold even one segment")
+    preroll = min(preroll_seconds, segmented.duration,
+                  capacity_seconds - 1e-9)
+    low_watermark = max(0.0, min(low_watermark_seconds,
+                                 capacity_seconds - max_segment))
+
+    model = RadioModel(radio)
+    buffer = PlaybackBuffer(capacity_seconds)
+    throughputs = deque(maxlen=_THROUGHPUT_WINDOW)
+    chunks = []
+    busy = []
+    switches = 0
+    last_rung = -1
+
+    now = 0.0  # wall clock
+    played = 0.0  # content seconds consumed
+    playing = False
+    startup = 0.0
+    last_busy_end = float("-inf")
+
+    def advance(upto: float) -> None:
+        """Advance the wall clock, draining the buffer if playing."""
+        nonlocal now, played
+        if upto <= now:
+            return
+        if playing:
+            remaining = segmented.duration - played - buffer.level
+            played += buffer.play(upto - now, remaining)
+        now = upto
+
+    for segment in segmented.segments:
+        # --- gate the next request on buffer room ---------------------
+        if playing and buffer.room < segment.duration:
+            if download_mode == "burst":
+                # High watermark hit: park the radio until the buffer
+                # drains to the low watermark, then burst-refill.
+                advance(now + buffer.drain_time_to(low_watermark))
+            else:
+                # Steady: request as soon as one segment fits, so the
+                # modem drips along at the playback rate.
+                advance(now + buffer.drain_time_to(
+                    capacity_seconds - segment.duration))
+        elif not playing and buffer.room < segment.duration:
+            raise SchedulingError(
+                "pre-roll filled the buffer before playback started")
+
+        # --- pick a rung and fetch -----------------------------------
+        context = AbrContext(
+            buffer_seconds=buffer.level,
+            buffer_capacity=capacity_seconds,
+            throughput=_harmonic_mean(throughputs),
+            last_rung=last_rung,
+        )
+        rung = abr.select(segmented.ladder, context)
+        if last_rung >= 0 and rung != last_rung:
+            switches += 1
+        size = segment.size(rung)
+
+        start = now
+        if model.is_idle_at(start, last_busy_end):
+            start += radio.promotion_latency
+        finish = trace.transfer_time(size, start)
+        if math.isinf(finish):
+            raise SchedulingError(
+                f"trace {trace.name!r} has no bandwidth left for "
+                f"segment {segment.index}")
+        advance(finish)
+        busy.append((start, finish))
+        last_busy_end = finish
+        throughputs.append(size / max(finish - start, 1e-12))
+        buffer.fill(segment.duration)
+        chunks.append(ChunkArrival(
+            index=segment.index, rung=rung, size_bytes=size,
+            n_frames=segment.n_frames, start=start, finish=finish,
+            playback_position=played))
+        last_rung = rung
+
+        if not playing and (buffer.level >= preroll - 1e-9
+                            or segment.index == segmented.n_segments - 1):
+            playing = True
+            startup = now
+
+    # Play out whatever is still buffered.
+    advance(now + buffer.level)
+
+    mean_rate = (sum(segmented.ladder[c.rung]
+                     * segmented.segments[c.index].duration
+                     for c in chunks) / segmented.duration)
+    radio_energy = model.energy(busy, horizon=now)
+    return DeliveryResult(
+        chunks=tuple(chunks),
+        startup_seconds=startup,
+        stall_seconds=buffer.stall_seconds,
+        stall_events=buffer.stall_events,
+        switches=switches,
+        radio=radio_energy,
+        wall_seconds=now,
+        fps=segmented.fps,
+        n_frames=segmented.n_frames,
+        mean_rate=mean_rate,
+    )
+
+
+def deliver_for_config(
+    network: NetworkConfig,
+    video: VideoConfig,
+    source: Optional[VideoProfile] = None,
+    n_frames: Optional[int] = None,
+    seed: int = 0,
+) -> DeliveryResult:
+    """Convenience wrapper: build trace + segments + ABR from a
+    :class:`NetworkConfig` and run :func:`simulate_delivery`."""
+    segmented = segment_video(
+        source, video, n_frames=n_frames, ladder=network.ladder,
+        segment_seconds=network.segment_seconds, seed=seed)
+    return simulate_delivery(
+        segmented,
+        trace=_resolve_trace(network),
+        abr=_resolve_abr(network),
+        radio=network.radio,
+        download_mode=network.download_mode,
+        preroll_seconds=network.preroll_seconds(video.fps),
+        capacity_seconds=network.buffer_seconds(video.fps),
+        low_watermark_seconds=network.low_watermark_seconds,
+    )

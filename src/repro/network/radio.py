@@ -1,0 +1,111 @@
+"""Radio (modem) power-state model.
+
+A cellular/Wi-Fi modem is its own race-to-sleep machine: it burns
+~1 W while bits flow (**active**), lingers in a high-power **tail**
+for an inactivity-timer period after the last bit (LTE RRC/DRX), and
+only then demotes to a ~10 mW **idle** state; waking back up costs a
+promotion delay and energy.  BurstLink-style delivery exploits exactly
+this shape — download in bursts and let the tail amortize over many
+segments — which is the delivery-side mirror of the paper's VD
+race-to-sleep.
+
+:class:`RadioModel` integrates a list of busy (downloading) intervals
+into a :class:`RadioEnergy` breakdown.  The same tail rule decides
+both energy attribution here and the promotion latency the delivery
+scheduler pays before a cold transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..config import RadioConfig
+
+
+@dataclass(frozen=True)
+class RadioEnergy:
+    """Energy and residency breakdown of one delivery run."""
+
+    active_energy: float
+    tail_energy: float
+    idle_energy: float
+    promotion_energy: float
+    active_seconds: float
+    tail_seconds: float
+    idle_seconds: float
+    promotions: int
+
+    @property
+    def total(self) -> float:
+        return (self.active_energy + self.tail_energy
+                + self.idle_energy + self.promotion_energy)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.active_seconds + self.tail_seconds + self.idle_seconds
+
+    @property
+    def average_power(self) -> float:
+        return (self.total / self.total_seconds
+                if self.total_seconds else 0.0)
+
+
+class RadioModel:
+    """Integrates busy intervals into the three-state energy model."""
+
+    def __init__(self, config: RadioConfig) -> None:
+        self.config = config
+
+    def is_idle_at(self, time: float, last_busy_end: float) -> bool:
+        """Has the tail timer expired by ``time``? (``-inf`` last end
+        means the radio has never been used: it starts idle.)"""
+        return time - last_busy_end >= self.config.tail_seconds
+
+    def energy(self, busy: Sequence[Tuple[float, float]],
+               horizon: float) -> RadioEnergy:
+        """Integrate over ``[0, horizon]`` given sorted, non-overlapping
+        ``(start, end)`` busy intervals (sequential downloads)."""
+        cfg = self.config
+        active_s = tail_s = idle_s = 0.0
+        promotions = 0
+        cursor = 0.0
+        last_end = float("-inf")
+        for start, end in busy:
+            start = max(cursor, start)
+            end = max(start, end)
+            # Split the gap before this interval into tail then idle.
+            if last_end == float("-inf"):
+                idle_s += max(0.0, start - cursor)
+                promotions += 1
+            else:
+                tail_part = min(start - cursor, cfg.tail_seconds
+                                - (cursor - last_end))
+                tail_part = max(0.0, min(tail_part, start - cursor))
+                tail_s += tail_part
+                idle_part = (start - cursor) - tail_part
+                idle_s += idle_part
+                if idle_part > 0:
+                    promotions += 1
+            active_s += end - start
+            cursor = end
+            last_end = end
+        # Trailing gap out to the horizon.
+        if horizon > cursor:
+            if last_end == float("-inf"):
+                idle_s += horizon - cursor
+            else:
+                tail_part = max(0.0, min(horizon - cursor,
+                                         cfg.tail_seconds))
+                tail_s += tail_part
+                idle_s += (horizon - cursor) - tail_part
+        return RadioEnergy(
+            active_energy=active_s * cfg.active_power,
+            tail_energy=tail_s * cfg.tail_power,
+            idle_energy=idle_s * cfg.idle_power,
+            promotion_energy=promotions * cfg.promotion_energy,
+            active_seconds=active_s,
+            tail_seconds=tail_s,
+            idle_seconds=idle_s,
+            promotions=promotions,
+        )

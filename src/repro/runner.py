@@ -12,6 +12,7 @@ to a sequential run.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -36,7 +37,7 @@ def run_matrix(
     n_frames: Optional[int] = None,
     seed: int = 0,
     config: Optional[SimulationConfig] = None,
-    processes: int = 1,
+    processes: Optional[int] = None,
 ) -> Dict[MatrixKey, RunResult]:
     """Run every (video, scheme) pair, optionally in parallel.
 
@@ -47,21 +48,25 @@ def run_matrix(
             length — the multi-hour full reproduction).
         seed: content seed shared across the matrix.
         config: simulation configuration.
-        processes: worker processes; 1 runs inline (no pool).
+        processes: worker processes.  ``None`` (the default) uses
+            every core (``os.cpu_count()``); pass 1 to force the
+            inline, pool-free path.
 
     Returns:
         ``{(video_key, scheme_name): RunResult}``.
     """
+    if processes is None:
+        processes = os.cpu_count() or 1
     keys = list(videos) if videos is not None else list(workload_keys())
     jobs = [(video_key, scheme, n_frames, seed, config)
             for video_key in keys for scheme in schemes]
     results: Dict[MatrixKey, RunResult] = {}
-    if processes <= 1:
+    if processes <= 1 or len(jobs) <= 1:
         for job in jobs:
             key, result = _run_one(job)
             results[key] = result
         return results
-    with ProcessPoolExecutor(max_workers=processes) as pool:
+    with ProcessPoolExecutor(max_workers=min(processes, len(jobs))) as pool:
         for key, result in pool.map(_run_one, jobs):
             results[key] = result
     return results

@@ -38,6 +38,11 @@ KHZ = 1e3
 MHZ = 1e6
 GHZ = 1e9
 
+# --- data rate (canonical: bytes per second; links and ladders are
+# conventionally quoted in bits per second, hence the /8) --------------
+KBPS = 1e3 / 8.0
+MBPS = 1e6 / 8.0
+
 
 def ns(value: float) -> float:
     """Convert nanoseconds to seconds."""
@@ -77,6 +82,11 @@ def mib(value: float) -> int:
 def mhz(value: float) -> float:
     """Convert megahertz to hertz."""
     return value * MHZ
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bytes per second."""
+    return value * MBPS
 
 
 def to_ms(seconds: float) -> float:

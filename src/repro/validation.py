@@ -184,6 +184,28 @@ def validate_against_paper(
           > runs.get("V9", RACE_TO_SLEEP).energy.total)
     add("V9 MAB regression (MAB worse than RtS)", "yes", float(v9), v9)
 
+    # --- delivery side: burst downloads race the radio to sleep -----------
+    # (BurstLink's recipe, PAPERS.md — the delivery-side mirror of the
+    # paper's Race-to-Sleep.)  Pure arithmetic, no pipeline run.
+    report("network")
+    from .network import deliver_for_config
+    from dataclasses import replace as dc_replace
+
+    net_cfg = dc_replace(cfg.network, mode="trace", trace_kind="lte",
+                         abr="fixed", abr_fixed_rung=2, trace_seed=seed)
+    deliveries = {
+        mode: deliver_for_config(
+            dc_replace(net_cfg, download_mode=mode), cfg.video,
+            source=workload("V8"), n_frames=3600, seed=seed)
+        for mode in ("steady", "burst")
+    }
+    same_stalls = (deliveries["burst"].stall_events
+                   == deliveries["steady"].stall_events)
+    ratio = (deliveries["burst"].radio.total
+             / deliveries["steady"].radio.total)
+    add("burst-vs-steady radio energy at equal stalls (BurstLink)",
+        "<1.0", ratio, same_stalls and ratio < 1.0)
+
     return checks
 
 

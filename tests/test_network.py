@@ -1,0 +1,408 @@
+"""Tests for the trace-driven delivery subsystem (repro.network)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    BASELINE,
+    RACE_TO_SLEEP,
+    NetworkConfig,
+    RadioConfig,
+    SimulationConfig,
+    VideoConfig,
+)
+from repro.core.session import Play, simulate_session
+from repro.errors import ConfigError, SchedulingError
+from repro.network import (
+    AbrContext,
+    BufferBasedAbr,
+    DeliveredNetworkModel,
+    FixedAbr,
+    PlaybackBuffer,
+    RadioModel,
+    RateBasedAbr,
+    constant_trace,
+    deliver_for_config,
+    load_trace,
+    lte_trace,
+    make_abr,
+    save_trace,
+    segment_video,
+    simulate_delivery,
+    step_trace,
+)
+from repro.units import mbps
+from repro.video import workload
+
+VIDEO = VideoConfig()
+
+
+def make_segments(n_frames=3600, seed=3, **kwargs):
+    return segment_video(workload("V8"), VIDEO, n_frames=n_frames,
+                         seed=seed, **kwargs)
+
+
+def run_delivery(segments, trace, abr=None, radio=None, **kwargs):
+    kwargs.setdefault("preroll_seconds", 2.0)
+    kwargs.setdefault("capacity_seconds", 10.0)
+    kwargs.setdefault("low_watermark_seconds", 3.0)
+    return simulate_delivery(segments, trace, abr or make_abr("bba"),
+                             radio or RadioConfig(), **kwargs)
+
+
+class TestBandwidthTrace:
+    def test_constant_math(self):
+        trace = constant_trace(1000.0)
+        assert trace.rate_at(0.0) == 1000.0
+        assert trace.rate_at(99.0) == 1000.0
+        assert trace.bytes_between(1.0, 3.5) == pytest.approx(2500.0)
+        assert trace.transfer_time(500.0, 2.0) == pytest.approx(2.5)
+
+    def test_piecewise_transfer_spans_levels(self):
+        trace = step_trace((1000.0, 0.0, 2000.0), period=1.0)
+        # 1500 bytes: 1 s at 1000 B/s, 1 s outage, 0.25 s at 2000 B/s.
+        assert trace.transfer_time(1500.0, 0.0) == pytest.approx(2.25)
+        assert trace.bytes_between(0.0, 2.25) == pytest.approx(1500.0)
+
+    def test_dead_tail_is_infinite(self):
+        import math
+
+        trace = step_trace((1000.0, 0.0), period=1.0)
+        assert math.isinf(trace.transfer_time(5000.0, 0.0))
+
+    def test_lte_trace_deterministic_and_renormalized(self):
+        a = lte_trace(mbps(24), duration=60, seed=5)
+        b = lte_trace(mbps(24), duration=60, seed=5)
+        c = lte_trace(mbps(24), duration=60, seed=6)
+        assert a == b
+        assert a != c
+        assert a.mean_rate == pytest.approx(mbps(24), rel=0.05)
+        assert all(rate >= 0 for rate in a.rates)
+
+    def test_validation(self):
+        from repro.network import BandwidthTrace
+
+        with pytest.raises(ConfigError):
+            BandwidthTrace((), ())
+        with pytest.raises(ConfigError):
+            BandwidthTrace((1.0,), (10.0,))  # must start at 0
+        with pytest.raises(ConfigError):
+            BandwidthTrace((0.0, 0.0), (1.0, 1.0))  # not increasing
+        with pytest.raises(ConfigError):
+            BandwidthTrace((0.0,), (-1.0,))
+
+    def test_file_round_trip(self, tmp_path):
+        trace = lte_trace(mbps(10), duration=10, seed=2)
+        path = str(tmp_path / "trace.csv")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.timestamps == pytest.approx(trace.timestamps)
+        assert loaded.rates == pytest.approx(trace.rates, rel=1e-3)
+
+    def test_file_loader_accepts_whitespace_and_comments(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n0 1000\n1.5 2000\n\n3,500\n")
+        trace = load_trace(str(path))
+        assert trace.timestamps == (0.0, 1.5, 3.0)
+        assert trace.rates == (1000.0, 2000.0, 500.0)
+
+
+class TestSegments:
+    def test_counts_and_tail_segment(self):
+        seg = make_segments(n_frames=150)  # 2.5 s at 60 fps
+        assert seg.n_segments == 3
+        assert seg.n_frames == 150
+        assert seg.segments[-1].n_frames == 30
+        assert seg.segments[-1].duration == pytest.approx(0.5)
+        assert seg.duration == pytest.approx(2.5)
+
+    def test_sizes_scale_with_rung(self):
+        seg = make_segments(n_frames=600)
+        for segment in seg.segments:
+            assert list(segment.sizes) == sorted(segment.sizes)
+            # Full-length segments land near rate * duration.
+            if segment.duration == pytest.approx(1.0):
+                for rate, size in zip(seg.ladder, segment.sizes):
+                    assert size == pytest.approx(rate, rel=0.6)
+
+    def test_deterministic_per_seed(self):
+        assert make_segments(seed=4) == make_segments(seed=4)
+        assert make_segments(seed=4) != make_segments(seed=5)
+
+    def test_generic_source_needs_frame_count(self):
+        with pytest.raises(ConfigError):
+            segment_video(None, VIDEO)
+        seg = segment_video(None, VIDEO, n_frames=120)
+        assert seg.n_frames == 120
+        assert seg.source_key == "stream"
+
+
+class TestPlaybackBuffer:
+    def test_fill_and_drain(self):
+        buffer = PlaybackBuffer(10.0)
+        buffer.fill(4.0)
+        played = buffer.play(3.0, content_remaining=100.0)
+        assert played == pytest.approx(3.0)
+        assert buffer.level == pytest.approx(1.0)
+        assert buffer.stall_seconds == 0.0
+
+    def test_stall_accounting(self):
+        buffer = PlaybackBuffer(10.0)
+        buffer.fill(1.0)
+        played = buffer.play(2.5, content_remaining=100.0)
+        assert played == pytest.approx(1.0)
+        assert buffer.stall_seconds == pytest.approx(1.5)
+        assert buffer.stall_events == 1
+        # Still the same stall period: no new event.
+        buffer.play(1.0, content_remaining=100.0)
+        assert buffer.stall_events == 1
+
+    def test_no_stall_after_content_exhausted(self):
+        buffer = PlaybackBuffer(10.0)
+        buffer.fill(1.0)
+        buffer.play(5.0, content_remaining=0.0)
+        assert buffer.stall_seconds == 0.0
+
+    def test_overfill_rejected(self):
+        buffer = PlaybackBuffer(2.0)
+        with pytest.raises(ConfigError):
+            buffer.fill(3.0)
+
+
+class TestAbrPolicies:
+    def ctx(self, level=5.0, capacity=10.0, throughput=0.0, last=-1):
+        return AbrContext(buffer_seconds=level, buffer_capacity=capacity,
+                          throughput=throughput, last_rung=last)
+
+    def test_fixed_clamps(self):
+        ladder = (100.0, 200.0, 300.0)
+        assert FixedAbr(rung=99).select(ladder, self.ctx()) == 2
+        assert FixedAbr(rung=-3).select(ladder, self.ctx()) == 0
+
+    def test_rate_based_tracks_throughput(self):
+        ladder = (100.0, 200.0, 400.0)
+        abr = RateBasedAbr(safety=0.9)
+        assert abr.select(ladder, self.ctx(throughput=0.0)) == 0
+        assert abr.select(ladder, self.ctx(throughput=250.0)) == 1
+        assert abr.select(ladder, self.ctx(throughput=5000.0)) == 2
+
+    def test_buffer_based_maps_occupancy(self):
+        ladder = (100.0, 200.0, 300.0, 400.0)
+        abr = BufferBasedAbr(reservoir_fraction=0.2, cushion_fraction=0.6)
+        assert abr.select(ladder, self.ctx(level=1.0)) == 0
+        assert abr.select(ladder, self.ctx(level=9.0)) == 3
+        middle = abr.select(ladder, self.ctx(level=5.0))
+        assert 0 < middle < 3
+
+    def test_registry(self):
+        assert make_abr("bba").name == "bba"
+        with pytest.raises(ConfigError):
+            make_abr("nope")
+
+
+class TestRadioModel:
+    CONFIG = RadioConfig(active_power=1.0, tail_power=0.5,
+                         idle_power=0.01, tail_seconds=2.0,
+                         promotion_latency=0.1, promotion_energy=0.2)
+
+    def test_no_activity_is_all_idle(self):
+        energy = RadioModel(self.CONFIG).energy([], horizon=100.0)
+        assert energy.active_seconds == 0.0
+        assert energy.idle_seconds == pytest.approx(100.0)
+        assert energy.promotions == 0
+        assert energy.total == pytest.approx(1.0)
+
+    def test_tail_caps_at_timer(self):
+        energy = RadioModel(self.CONFIG).energy([(0.0, 1.0)], horizon=10.0)
+        assert energy.active_seconds == pytest.approx(1.0)
+        assert energy.tail_seconds == pytest.approx(2.0)
+        assert energy.idle_seconds == pytest.approx(7.0)
+        assert energy.promotions == 1
+
+    def test_short_gap_stays_in_tail(self):
+        # Gap of 1 s < 2 s tail: no second promotion, no idle between.
+        energy = RadioModel(self.CONFIG).energy(
+            [(0.0, 1.0), (2.0, 3.0)], horizon=3.0)
+        assert energy.promotions == 1
+        assert energy.idle_seconds == 0.0
+        assert energy.tail_seconds == pytest.approx(1.0)
+
+    def test_long_gap_promotes_again(self):
+        energy = RadioModel(self.CONFIG).energy(
+            [(0.0, 1.0), (10.0, 11.0)], horizon=11.0)
+        assert energy.promotions == 2
+        assert energy.tail_seconds == pytest.approx(2.0)
+        assert energy.idle_seconds == pytest.approx(7.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            RadioConfig(idle_power=2.0, tail_power=1.0, active_power=0.5)
+        with pytest.raises(ConfigError):
+            RadioConfig(tail_seconds=-1.0)
+
+
+class TestDelivery:
+    def test_bit_identical_determinism(self):
+        seg = make_segments()
+        trace = lte_trace(mbps(24), duration=120, seed=1)
+        runs = [run_delivery(seg, trace) for _ in range(2)]
+        assert runs[0] == runs[1]  # dataclass equality, every field
+
+    def test_fat_link_never_stalls(self):
+        result = run_delivery(make_segments(), constant_trace(mbps(200)))
+        assert result.stall_seconds == 0.0
+        assert result.startup_seconds < 1.0
+        # BBA climbs to the top rung once the buffer is comfortable
+        # (it dips again whenever a burst starts at the low watermark).
+        assert max(c.rung for c in result.chunks) == make_segments().top_rung
+
+    def test_starved_link_stalls(self):
+        result = run_delivery(make_segments(n_frames=1200),
+                              constant_trace(mbps(1.0)),
+                              abr=make_abr("fixed", rung=0))
+        assert result.stall_seconds > 0.0
+        assert result.stall_events >= 1
+
+    def test_outage_trace_stalls_and_recovers(self):
+        trace = step_trace((mbps(20), 0.0), period=10.0, repeats=10)
+        result = run_delivery(make_segments(), trace)
+        assert result.stall_seconds > 0.0
+        assert result.n_frames == 3600  # everything still delivered
+
+    def test_burst_beats_steady_radio_energy_at_equal_stalls(self):
+        seg = make_segments()
+        trace = lte_trace(mbps(24), duration=120, seed=1)
+        abr_kwargs = dict(abr=make_abr("fixed", rung=2))
+        steady = run_delivery(seg, trace, download_mode="steady",
+                              **abr_kwargs)
+        burst = run_delivery(seg, trace, download_mode="burst",
+                             **abr_kwargs)
+        assert steady.stall_events == burst.stall_events
+        assert burst.radio.total < steady.radio.total
+        # The saving is the tail: burst idles the modem between bursts.
+        assert burst.radio.idle_seconds > steady.radio.idle_seconds
+        assert burst.radio.tail_energy < steady.radio.tail_energy
+
+    def test_switch_counting(self):
+        result = run_delivery(make_segments(), constant_trace(mbps(200)))
+        rungs = [c.rung for c in result.chunks]
+        expected = sum(1 for a, b in zip(rungs, rungs[1:]) if a != b)
+        assert result.switches == expected
+
+    def test_capacity_too_small_rejected(self):
+        with pytest.raises(SchedulingError):
+            run_delivery(make_segments(), constant_trace(mbps(20)),
+                         capacity_seconds=0.5)
+
+
+class TestDeliveredNetworkModel:
+    def make_model(self, n_frames=3600):
+        result = run_delivery(make_segments(n_frames=n_frames),
+                              constant_trace(mbps(40)))
+        return DeliveredNetworkModel(result, n_frames)
+
+    def test_monotonic_availability(self):
+        model = self.make_model()
+        counts = [model.frames_available(t / 2) for t in range(0, 100)]
+        assert counts == sorted(counts)
+        assert counts[-1] <= model.total_frames
+
+    def test_inverse_consistency(self):
+        model = self.make_model()
+        for count in (1, 60, 600, 3600):
+            t = model.time_when_available(count)
+            assert model.frames_available(t) >= count
+
+    def test_preroll_available_at_start(self):
+        model = self.make_model()
+        assert model.frames_available(0.0) > 0
+
+    def test_pipeline_accepts_delivered_model(self):
+        from repro import simulate
+
+        n = 48
+        result = run_delivery(make_segments(n_frames=n),
+                              constant_trace(mbps(100)))
+        model = DeliveredNetworkModel(result, n)
+        run = simulate(workload("V8"), RACE_TO_SLEEP, n_frames=n,
+                       seed=1, network_model=model)
+        assert run.n_frames == n
+        assert run.drops == 0
+
+    def test_too_few_frames_rejected(self):
+        result = run_delivery(make_segments(n_frames=48),
+                              constant_trace(mbps(100)))
+        with pytest.raises(SchedulingError):
+            DeliveredNetworkModel(result, 480)
+
+
+class TestNetworkConfigValidation:
+    def test_defaults_valid(self):
+        NetworkConfig()
+        NetworkConfig(mode="trace")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(mode="wormhole"),
+        dict(trace_kind="carrier-pigeon"),
+        dict(trace_kind="file"),  # no path
+        dict(mean_bandwidth=-1.0),
+        dict(segment_seconds=0.0),
+        dict(ladder=()),
+        dict(ladder=(3e6, 2e6)),
+        dict(abr="oracle"),
+        dict(abr_fixed_rung=99),
+        dict(download_mode="sideways"),
+        dict(preroll_frames=700),  # exceeds max_buffered_frames
+    ])
+    def test_rejections(self, kwargs):
+        with pytest.raises(ConfigError):
+            NetworkConfig(**kwargs)
+
+
+class TestSessionDeliveryIntegration:
+    CONFIG = SimulationConfig(network=NetworkConfig(
+        mode="trace", trace_kind="constant"))
+
+    def test_stalls_come_from_buffer_occupancy(self):
+        fat = SimulationConfig(network=replace(
+            self.CONFIG.network, mean_bandwidth=mbps(200)))
+        thin = SimulationConfig(network=replace(
+            self.CONFIG.network, mean_bandwidth=mbps(2.0),
+            abr="fixed", abr_fixed_rung=1))
+        events = [Play(workload("V8"), 96)]
+        rich = simulate_session(events, BASELINE, config=fat, seed=1)
+        poor = simulate_session(events, BASELINE, config=thin, seed=1)
+        # The legacy arithmetic stub would give both the same stall;
+        # buffer occupancy makes the starved link stall far longer.
+        assert poor.stall_seconds > rich.stall_seconds
+        assert rich.stall_seconds > 0.0  # startup is never free
+        legacy = simulate_session(events, BASELINE, seed=1)
+        assert rich.stall_seconds != pytest.approx(legacy.stall_seconds)
+
+    def test_network_energy_accounted(self):
+        result = simulate_session([Play(workload("V8"), 96)], BASELINE,
+                                  config=self.CONFIG, seed=1)
+        assert result.network_energy > 0.0
+        assert len(result.deliveries) == 1
+        assert result.total_energy >= (result.playback_energy
+                                       + result.network_energy)
+
+    def test_deterministic(self):
+        events = [Play(workload("V8"), 72),
+                  Play(workload("V1"), 72, seek=True)]
+        a = simulate_session(events, RACE_TO_SLEEP, config=self.CONFIG,
+                             seed=4)
+        b = simulate_session(events, RACE_TO_SLEEP, config=self.CONFIG,
+                             seed=4)
+        assert a.total_energy == b.total_energy
+        assert a.stall_seconds == b.stall_seconds
+        assert a.network_energy == b.network_energy
+
+    def test_legacy_mode_untouched(self):
+        result = simulate_session([Play(workload("V8"), 96)], BASELINE,
+                                  seed=1)
+        assert result.network_energy == 0.0
+        assert result.deliveries == []

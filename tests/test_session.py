@@ -94,3 +94,74 @@ class TestSessionComposition:
         psr = simulate_session(events, BASELINE, seed=1,
                                panel_self_refresh=True)
         assert psr.pause_energy < plain.pause_energy
+
+
+class TestSessionEdgeCases:
+    def test_zero_length_play_is_noop(self):
+        result = simulate_session([Play(workload("V8"), 0)], BASELINE,
+                                  seed=1)
+        assert result.segments == []
+        assert result.total_energy == 0.0
+        assert result.stall_seconds == 0.0
+        # A zero-length Play does not consume the cold-start rebuffer:
+        # the next real Play still pays it.
+        with_noop = simulate_session(
+            [Play(workload("V8"), 0), Play(workload("V8"), FRAMES)],
+            BASELINE, seed=1)
+        plain = simulate_session([Play(workload("V8"), FRAMES)], BASELINE,
+                                 seed=1)
+        assert with_noop.stall_seconds == pytest.approx(plain.stall_seconds)
+
+    def test_back_to_back_seeks_stack_stalls(self):
+        single = simulate_session(
+            [Play(workload("V8"), FRAMES)], BASELINE, seed=1)
+        double = simulate_session(
+            [Play(workload("V8"), FRAMES),
+             Play(workload("V8"), FRAMES, seek=True),
+             Play(workload("V8"), FRAMES, seek=True)],
+            BASELINE, seed=1)
+        # Cold start + two seeks = three full rebuffers.
+        assert double.stall_seconds == pytest.approx(
+            3 * single.stall_seconds)
+        assert double.rebuffer_energy == pytest.approx(
+            3 * single.rebuffer_energy)
+
+    def test_pause_only_session(self):
+        result = simulate_session([Pause(4.0), Pause(6.0)], BASELINE,
+                                  seed=1)
+        assert result.segments == []
+        assert result.pause_seconds == pytest.approx(10.0)
+        assert result.stall_seconds == 0.0
+        assert result.playback_energy == 0.0
+        assert result.total_energy == pytest.approx(result.pause_energy)
+        assert result.average_power > 0
+
+    def test_psr_idle_power_ordering(self):
+        config = SimulationConfig()
+        plain = SessionSimulator(BASELINE, config)._frozen_frame_power()
+        psr = SessionSimulator(BASELINE, config,
+                               panel_self_refresh=True)._frozen_frame_power()
+        assert psr < plain
+        # PSR still pays the panel and the VD's deep-sleep floor.
+        floor = (config.display.power
+                 + config.decoder.power_states.s3_power)
+        assert psr > floor
+
+    def test_self_refresh_fraction_is_configurable(self):
+        from dataclasses import replace
+
+        from repro.config import DramConfig
+        from repro.errors import ConfigError
+
+        base = SimulationConfig()
+        deep = SimulationConfig(
+            dram=replace(base.dram, self_refresh_fraction=0.01))
+        shallow = SimulationConfig(
+            dram=replace(base.dram, self_refresh_fraction=0.9))
+        powers = [
+            SessionSimulator(BASELINE, cfg,
+                             panel_self_refresh=True)._frozen_frame_power()
+            for cfg in (deep, base, shallow)]
+        assert powers[0] < powers[1] < powers[2]
+        with pytest.raises(ConfigError):
+            DramConfig(self_refresh_fraction=1.5)
