@@ -1,0 +1,193 @@
+"""Fault-resilience studies: what surviving a lossy world costs.
+
+The resilience layer (``repro.faults``) turns segment losses into
+retries, bit errors into concealed macroblocks, and digest collisions
+into verified fallback stores.  These benches sweep each fault axis
+and price the resilience:
+
+* **loss-rate sweep** — per-attempt segment loss 0 → 10 % on a
+  constant link with a pinned rung: retries and radio energy must rise
+  monotonically with the loss rate, and the zero-loss row must be the
+  exact fault-free result.
+* **bit-error sweep** — decoded-block bit error rate 0 → 1e-5:
+  concealment grows with the error rate while the energy overhead
+  stays marginal (concealment is one extra block read, not a decode).
+* **collision fallback** — injected digest collisions are always
+  detected and fall back to full stores, so write traffic rises but
+  correctness never degrades.
+
+Run under pytest (``pytest benchmarks/bench_fault_resilience.py``) for
+the full tables, or standalone for CI::
+
+    python benchmarks/bench_fault_resilience.py --smoke
+
+which writes the headline numbers to ``BENCH_fault_resilience.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.config import GAB, FaultConfig, NetworkConfig, SimulationConfig
+from repro.core.pipeline import simulate
+from repro.network import deliver_for_config
+from repro.units import MBPS
+from repro.video import workload
+
+try:  # pytest package-relative; absolute when run as a script
+    from .conftest import BENCH_FRAMES, BENCH_SEED
+except ImportError:  # pragma: no cover - script mode
+    BENCH_FRAMES, BENCH_SEED = 96, 7
+
+_LOSS_RATES = (0.0, 0.02, 0.05, 0.10)
+_BIT_ERROR_RATES = (0.0, 1e-6, 1e-5)
+_DELIVERY_FRAMES = 3600
+
+
+def _network() -> NetworkConfig:
+    # Constant link + pinned rung: ABR cannot absorb the injected
+    # losses, so the retry cost is visible and monotone.
+    return NetworkConfig(mode="trace", trace_kind="constant",
+                         mean_bandwidth=24 * MBPS, abr="fixed",
+                         abr_fixed_rung=2, download_mode="burst",
+                         trace_seed=BENCH_SEED)
+
+
+def _loss_sweep():
+    rows = []
+    video = SimulationConfig().video
+    for loss in _LOSS_RATES:
+        faults = (FaultConfig(segment_loss=loss, seed=BENCH_SEED)
+                  if loss else None)
+        d = deliver_for_config(_network(), video, source=workload("V8"),
+                               n_frames=_DELIVERY_FRAMES, seed=BENCH_SEED,
+                               faults=faults)
+        rows.append([loss, d.retries, d.abandoned_segments,
+                     d.stall_seconds, d.radio.active_energy,
+                     d.radio.total])
+    return rows
+
+
+def _bit_error_sweep(frames: int):
+    rows = []
+    for ber in _BIT_ERROR_RATES:
+        cfg = replace(SimulationConfig(),
+                      faults=FaultConfig(block_bit_error=ber,
+                                         seed=BENCH_SEED))
+        run = simulate(workload("V8"), GAB, n_frames=frames,
+                       seed=BENCH_SEED, config=cfg)
+        rows.append([ber, run.concealed_blocks, run.drops,
+                     run.energy.total, run.write_savings])
+    return rows
+
+
+def _collision_sweep(frames: int):
+    rows = []
+    for rate in (0.0, 1e-4, 1e-3):
+        cfg = replace(SimulationConfig(),
+                      faults=FaultConfig(digest_collision=rate,
+                                         seed=BENCH_SEED))
+        run = simulate(workload("V8"), GAB, n_frames=frames,
+                       seed=BENCH_SEED, config=cfg)
+        rows.append([rate, run.injected_collisions, run.fallback_writes,
+                     run.silent_collisions, run.write_bytes])
+    return rows
+
+
+def test_loss_rate_sweep(benchmark, emit):
+    """Retries and radio energy must rise with the loss rate."""
+    rows = benchmark.pedantic(_loss_sweep, rounds=1, iterations=1)
+    emit(format_table(
+        ["loss", "retries", "abandoned", "stall s", "active J",
+         "radio J"],
+        rows, title="Segment-loss sweep (constant 24 Mbps, rung pinned): "
+                    "resilience priced in radio energy"))
+    retries = [row[1] for row in rows]
+    assert retries[0] == 0, "zero loss must mean zero retries"
+    assert retries == sorted(retries), "retries must rise with loss"
+    assert retries[-1] > 0, "10% loss must force retries"
+    active = [row[4] for row in rows]
+    assert active[-1] > active[0], "retries must cost radio energy"
+
+
+def test_bit_error_concealment(benchmark, emit):
+    """Concealment grows with BER; the energy overhead stays marginal."""
+    rows = benchmark.pedantic(_bit_error_sweep, rounds=1, iterations=1,
+                              args=(BENCH_FRAMES,))
+    emit(format_table(
+        ["bit error rate", "concealed blocks", "drops", "energy J",
+         "write savings"],
+        rows, title="Bit-error sweep (V8/GAB): concealment absorbs the "
+                    "damage"))
+    concealed = [row[1] for row in rows]
+    assert concealed[0] == 0, "BER 0 must conceal nothing"
+    assert concealed == sorted(concealed), "concealment grows with BER"
+    assert concealed[-1] > 0
+    clean, worst = rows[0][3], rows[-1][3]
+    assert abs(worst - clean) / clean < 0.05, (
+        "concealment must not blow up the energy budget")
+
+
+def test_collision_fallback(benchmark, emit):
+    """Every injected collision is detected; none is silently wrong."""
+    rows = benchmark.pedantic(_collision_sweep, rounds=1, iterations=1,
+                              args=(BENCH_FRAMES,))
+    emit(format_table(
+        ["collision rate", "injected", "fallback stores", "silent",
+         "write bytes"],
+        rows, title="Digest-collision sweep (V8/GAB): verification "
+                    "trades write traffic for correctness"))
+    base_silent = rows[0][3]
+    for _, injected, fallback, silent, _ in rows:
+        assert fallback == injected, "every collision must fall back"
+        assert silent == base_silent, "no injected collision may slip"
+    assert rows[-1][1] > 0, "1e-3 must inject collisions"
+    assert rows[-1][4] >= rows[0][4], "fallbacks store full blocks"
+
+
+def _smoke(path: str = "BENCH_fault_resilience.json") -> dict:
+    """CI smoke: tiny sweep, headline JSON artifact."""
+    frames = min(BENCH_FRAMES, 48)
+    loss_rows = _loss_sweep()
+    ber_rows = _bit_error_sweep(frames)
+    collision_rows = _collision_sweep(frames)
+    payload = {
+        "frames": frames,
+        "loss_sweep": [
+            {"loss": r[0], "retries": r[1], "abandoned": r[2],
+             "stall_seconds": r[3], "radio_active_j": r[4],
+             "radio_total_j": r[5]} for r in loss_rows],
+        "bit_error_sweep": [
+            {"ber": r[0], "concealed_blocks": r[1], "drops": r[2],
+             "energy_j": r[3]} for r in ber_rows],
+        "collision_sweep": [
+            {"rate": r[0], "injected": r[1], "fallback_writes": r[2],
+             "silent": r[3]} for r in collision_rows],
+    }
+    retries = [r[1] for r in loss_rows]
+    assert retries[0] == 0 and retries == sorted(retries)
+    concealed = [r[1] for r in ber_rows]
+    assert concealed[0] == 0 and concealed[-1] > 0
+    assert all(r[1] == r[2] for r in collision_rows)
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return payload
+
+
+if __name__ == "__main__":  # pragma: no cover - CI smoke entry
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick sweep, write "
+                             "BENCH_fault_resilience.json")
+    parser.add_argument("--out", default="BENCH_fault_resilience.json")
+    args = parser.parse_args()
+    result = _smoke(args.out)
+    print(f"wrote {args.out}: "
+          f"{len(result['loss_sweep'])} loss rows, "
+          f"{len(result['bit_error_sweep'])} BER rows, "
+          f"{len(result['collision_sweep'])} collision rows")

@@ -32,6 +32,7 @@ from .config import (
     MAB,
     RACE_TO_SLEEP,
     RACING,
+    FaultConfig,
     MachConfig,
     SchemeConfig,
     SimulationConfig,
@@ -59,6 +60,8 @@ _CORE_EXPORTS = {
     "deliver_for_config": ("network.delivery", "deliver_for_config"),
     "run_matrix": ("runner", "run_matrix"),
     "normalized_matrix": ("runner", "normalized_matrix"),
+    "MatrixResult": ("runner", "MatrixResult"),
+    "FaultPlan": ("faults", "FaultPlan"),
     "validate_against_paper": ("validation", "validate_against_paper"),
 }
 
@@ -85,6 +88,9 @@ __all__ = [
     "MAB",
     "RACE_TO_SLEEP",
     "RACING",
+    "FaultConfig",
+    "FaultPlan",
+    "MatrixResult",
     "MachConfig",
     "SchemeConfig",
     "SimulationConfig",

@@ -186,6 +186,62 @@ def _cmd_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from .config import FaultConfig, NetworkConfig
+    from .core.session import Play, SessionSimulator
+    from .units import MBPS
+
+    scheme = _SCHEMES[args.scheme.lower()]
+    network = NetworkConfig(
+        mode="trace", trace_kind=args.trace,
+        mean_bandwidth=args.bandwidth_mbps * MBPS,
+        trace_seed=args.seed, abr=args.abr)
+    faults = FaultConfig(
+        segment_loss=args.loss,
+        segment_corruption=args.corruption,
+        segment_timeout_rate=args.timeout_rate,
+        block_bit_error=args.ber,
+        digest_collision=args.collisions,
+        seed=args.fault_seed,
+    )
+    events = [Play(workload(args.video), n_frames=args.frames)]
+    rows = []
+    for label, fault_cfg in (("clean", FaultConfig()), ("faulty", faults)):
+        cfg = dc_replace(SimulationConfig(), network=network,
+                         faults=fault_cfg)
+        session = SessionSimulator(scheme, cfg, seed=args.seed).run(events)
+        delivery = session.deliveries[0] if session.deliveries else None
+        run = session.segments[0]
+        rows.append([
+            label,
+            session.stall_seconds,
+            session.retries,
+            delivery.failed_attempts if delivery else 0,
+            session.abandoned_segments,
+            session.concealed_blocks,
+            run.injected_collisions,
+            session.fallback_writes,
+            session.network_energy,
+            session.total_energy,
+        ])
+    print(format_table(
+        ["run", "stall s", "retries", "failures", "abandoned",
+         "concealed", "collisions", "fallbacks", "radio J", "total J"],
+        rows,
+        title=f"{args.video} under {scheme.name}, "
+              f"loss={args.loss:g} corruption={args.corruption:g} "
+              f"ber={args.ber:g} collisions={args.collisions:g} "
+              f"({args.frames} frames)"))
+    clean, faulty = rows
+    extra = faulty[-1] - clean[-1]
+    print(f"\nresilience cost: {extra:+.2f} J "
+          f"({extra / clean[-1]:+.1%} vs clean) — zero silently-wrong "
+          "blocks, every loss retried, concealed, or abandoned")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .validation import summarize, validate_against_paper
 
@@ -262,6 +318,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="download scheduling (default: compare both)")
     network.add_argument("--seed", type=int, default=1)
     network.set_defaults(func=_cmd_network)
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection drill: lossy delivery, bit "
+                       "errors, digest collisions — clean vs faulty")
+    faults.add_argument("--video", default="V8")
+    faults.add_argument("--frames", type=int, default=600)
+    faults.add_argument("--scheme", default="gab",
+                        choices=sorted(_SCHEMES))
+    faults.add_argument("--loss", type=float, default=0.05,
+                        help="per-attempt segment loss probability")
+    faults.add_argument("--corruption", type=float, default=0.02,
+                        help="per-attempt segment corruption probability")
+    faults.add_argument("--timeout-rate", type=float, default=0.01,
+                        help="per-attempt stuck-download probability")
+    faults.add_argument("--ber", type=float, default=1e-6,
+                        help="decoded-block bit error rate")
+    faults.add_argument("--collisions", type=float, default=1e-4,
+                        help="injected digest-collision probability")
+    faults.add_argument("--trace", default="lte",
+                        choices=("constant", "lte", "step"))
+    faults.add_argument("--bandwidth-mbps", type=float, default=24.0)
+    faults.add_argument("--abr", default="bba",
+                        choices=("fixed", "rate", "bba"))
+    faults.add_argument("--seed", type=int, default=1)
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault plan (content seed is "
+                             "--seed)")
+    faults.set_defaults(func=_cmd_faults)
 
     validate = sub.add_parser(
         "validate", help="check this build against the paper's claims")

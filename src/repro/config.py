@@ -460,6 +460,83 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Fault injection rates and the resilience knobs that absorb them.
+
+    All rates default to zero, so a default ``FaultConfig`` is inert:
+    every code path that consults it reproduces the fault-free
+    behaviour bit-for-bit.  Injection is driven by a pure-function
+    schedule (:class:`repro.faults.FaultPlan`) seeded by ``seed``, so
+    two runs with the same config see byte-identical faults.
+
+    Injection knobs:
+
+    * ``segment_loss`` — probability a segment download attempt dies
+      mid-transfer (the bytes already moved still cost radio energy);
+    * ``segment_corruption`` — probability a fully downloaded segment
+      fails its checksum on arrival and must be re-fetched;
+    * ``segment_timeout_rate`` — probability a download hangs until
+      the per-attempt timeout expires;
+    * ``block_bit_error`` — per-*bit* error rate in decoded
+      macroblocks (a 48-byte block flips with ~384x this rate);
+    * ``digest_collision`` — per-lookup probability that a MACH match
+      is actually a hash collision pointing at the wrong content.
+
+    Resilience knobs:
+
+    * ``max_retries`` / ``retry_backoff`` / ``segment_timeout`` — the
+      delivery retry loop: exponential backoff between attempts, a
+      wall-clock cap per attempt, and a bounded attempt count after
+      which the segment is abandoned (played as a concealed freeze);
+    * ``panic_after_failures`` — consecutive failed attempts before
+      the ABR panics down to the lowest ladder rung;
+    * ``verify_digests`` — MACH integrity fallback: a detected
+      collision stores the full block instead of a wrong pointer, so
+      content caching is never silently incorrect.
+    """
+
+    segment_loss: float = 0.0
+    segment_corruption: float = 0.0
+    segment_timeout_rate: float = 0.0
+    block_bit_error: float = 0.0
+    digest_collision: float = 0.0
+    seed: int = 0
+
+    max_retries: int = 3
+    retry_backoff: float = 0.25  # s; doubles per failed attempt
+    segment_timeout: float = 20.0  # s per download attempt
+    panic_after_failures: int = 2
+    verify_digests: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("segment_loss", "segment_corruption",
+                     "segment_timeout_rate", "digest_collision"):
+            value = getattr(self, name)
+            _require(0.0 <= value <= 1.0, f"{name} must be in [0, 1]")
+        _require(self.segment_loss + self.segment_corruption
+                 + self.segment_timeout_rate <= 1.0,
+                 "segment fault rates must sum to at most 1")
+        _require(0.0 <= self.block_bit_error <= 1.0,
+                 "block_bit_error must be in [0, 1]")
+        _require(self.max_retries >= 0, "max_retries cannot be negative")
+        _require(self.retry_backoff >= 0, "retry_backoff cannot be negative")
+        _require(self.segment_timeout > 0, "segment_timeout must be positive")
+        _require(self.panic_after_failures >= 1,
+                 "panic_after_failures must be >= 1")
+
+    @property
+    def injects_delivery(self) -> bool:
+        return (self.segment_loss > 0 or self.segment_corruption > 0
+                or self.segment_timeout_rate > 0)
+
+    @property
+    def enabled(self) -> bool:
+        """Any non-zero injection rate (resilience knobs alone are inert)."""
+        return (self.injects_delivery or self.block_bit_error > 0
+                or self.digest_collision > 0)
+
+
+@dataclass(frozen=True)
 class SchemeConfig:
     """One of the paper's evaluated schemes (Fig. 11 legend).
 
@@ -521,6 +598,7 @@ class SimulationConfig:
     display: DisplayConfig = field(default_factory=DisplayConfig)
     mach: MachConfig = field(default_factory=MachConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     calibration: PaperCalibration = field(default_factory=PaperCalibration)
     seed: int = 0
 

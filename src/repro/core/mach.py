@@ -49,6 +49,12 @@ class MachStats:
     detected_collisions: int = 0
     silent_collisions: int = 0
     co_mach_hits: int = 0
+    #: Injected digest collisions (fault injection, not natural CRC32
+    #: aliasing) and how the write path resolved them: a verified
+    #: fallback stores the full block, an unverified one silently
+    #: reuses the wrong content.
+    injected_collisions: int = 0
+    fallback_writes: int = 0
     match_counter: Counter = field(default_factory=Counter)
 
     @property

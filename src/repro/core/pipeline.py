@@ -33,6 +33,7 @@ from ..config import (
 from ..decoder.power import PowerState, PowerTracker, plan_slack
 from ..decoder.vd import VideoDecoder
 from ..display.controller import DisplayController
+from ..faults import FaultPlan, conceal_blocks
 from ..display.framebuffer import FrameBufferPool
 from ..memory.address import RegionMap
 from ..memory.controller import MemoryController
@@ -227,9 +228,15 @@ def simulate(
     pool = FrameBufferPool(fb_region.base, slot_bytes, slots,
                            retention=retention, phase_span=row_span)
     vd = VideoDecoder(cfg.decoder, video_cfg, cfg.dram.line_bytes)
+    # Fault injection (inert by default): bit errors conceal from the
+    # previous frame, digest collisions trigger the MACH verify
+    # fallback.  The plan is a pure function of the fault seed, so a
+    # faulted run is exactly as deterministic as a clean one.
+    fault_plan = FaultPlan.from_config(cfg.faults)
     writeback = WritebackEngine(video_cfg, sim_mach_cfg, scheme,
                                 cfg.dram.line_bytes,
-                                unbounded_mach=unbounded_mach)
+                                unbounded_mach=unbounded_mach,
+                                fault_plan=fault_plan)
     display = DisplayController(cfg.display, cfg.calibration.display_scan_duty)
     reader = DisplayReadEngine(
         cfg.display, sim_mach_cfg, video_cfg, cfg.dram.line_bytes,
@@ -321,6 +328,8 @@ def simulate(
     raw_write_bytes = 0
     total_write_bytes = 0
     match_totals = [0, 0, 0]
+    prev_blocks = None  # last decoded frame's content, for concealment
+    concealed_total = 0
 
     while next_frame < count:
         advance_display(now)
@@ -379,6 +388,32 @@ def simulate(
             )
             traffic.add("vd_read", reads.times, reads.addresses,
                         is_write=False)
+
+            if fault_plan is not None:
+                corrupt = fault_plan.corrupt_block_indices(
+                    index, frame.n_blocks, frame.block_bytes)
+                if len(corrupt):
+                    # Copy before concealing: the stream may derive
+                    # later frames from this buffer, and the source
+                    # content must not inherit the receiver's damage.
+                    frame.blocks = frame.blocks.copy()
+                    concealed_total += conceal_blocks(
+                        frame.blocks, corrupt, prev_blocks)
+                    # Concealment re-reads each co-located block from
+                    # the previous frame's buffer: extra memory
+                    # traffic the fault-free path never pays.
+                    if index > 0 and pool.is_live(index - 1):
+                        conceal_base = pool.slot(index - 1).base
+                        line = cfg.dram.line_bytes
+                        conceal_addrs = (conceal_base
+                                         + (corrupt * frame.block_bytes)
+                                         // line * line)
+                        traffic.add(
+                            "vd_read",
+                            _uniform_times(rng, start, finish,
+                                           len(conceal_addrs)),
+                            conceal_addrs, is_write=False)
+            prev_blocks = frame.blocks
 
             result = writeback.process_frame(frame, slot.base)
             write_times = _uniform_times(rng, start, finish,
@@ -469,6 +504,10 @@ def simulate(
         silent_collisions=mach_stats.silent_collisions if mach_stats else 0,
         detected_collisions=(mach_stats.detected_collisions
                              if mach_stats else 0),
+        concealed_blocks=concealed_total,
+        injected_collisions=(mach_stats.injected_collisions
+                             if mach_stats else 0),
+        fallback_writes=mach_stats.fallback_writes if mach_stats else 0,
     )
 
 

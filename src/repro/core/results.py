@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -59,6 +59,22 @@ class FrameTimeline:
         return (self.exec_energy + self.idle_energy + self.s1_energy
                 + self.s3_energy + self.transition_energy)
 
+    def to_jsonable(self) -> Dict[str, list]:
+        """Plain-list form for JSON checkpoints (floats round-trip
+        exactly: json emits repr, and ``float(repr(x)) == x``)."""
+        return {f.name: getattr(self, f.name).tolist()
+                for f in fields(self)}
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, list]) -> "FrameTimeline":
+        kwargs = {
+            f.name: np.asarray(
+                data[f.name],
+                dtype=bool if f.name == "dropped" else np.float64)
+            for f in fields(cls)
+        }
+        return cls(**kwargs)
+
 
 @dataclass
 class RunResult:
@@ -81,6 +97,10 @@ class RunResult:
     peak_footprint_native_mb: float
     silent_collisions: int = 0
     detected_collisions: int = 0
+    #: Fault-injection resilience counters (zero on clean runs).
+    concealed_blocks: int = 0
+    injected_collisions: int = 0
+    fallback_writes: int = 0
 
     @property
     def activations(self) -> int:
@@ -120,6 +140,88 @@ class RunResult:
             "read_savings": self.read_savings,
             "transitions": float(self.transitions),
         }
+
+    # -- JSON checkpointing -------------------------------------------------
+    #
+    # The runner persists finished jobs across crashes, so a RunResult
+    # must survive a JSON round trip *bit-identically*: json floats are
+    # emitted as repr and ``float(repr(x)) == x`` for every finite
+    # float, so no precision is lost anywhere below.
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """Lossless plain-data form (dicts/lists/scalars only)."""
+        return {
+            "profile_key": self.profile_key,
+            "scheme_name": self.scheme_name,
+            "n_frames": self.n_frames,
+            "elapsed": self.elapsed,
+            "energy": self.energy.as_dict(),
+            "drops": self.drops,
+            "residency": {s.name: v for s, v in self.residency.items()},
+            "transitions": self.transitions,
+            "timeline": self.timeline.to_jsonable(),
+            "matches": (None if self.matches is None else {
+                "intra": self.matches.intra,
+                "inter": self.matches.inter,
+                "none": self.matches.none,
+            }),
+            "write_bytes": self.write_bytes,
+            "raw_write_bytes": self.raw_write_bytes,
+            "read_stats": (None if self.read_stats is None else {
+                f.name: getattr(self.read_stats, f.name)
+                for f in fields(self.read_stats)
+            }),
+            "mem_stats": {
+                "activations": self.mem_stats.activations,
+                "read_bursts": self.mem_stats.read_bursts,
+                "write_bursts": self.mem_stats.write_bursts,
+                "by_agent": dict(self.mem_stats.by_agent),
+                "acts_by_agent": dict(self.mem_stats.acts_by_agent),
+            },
+            "peak_footprint_native_mb": self.peak_footprint_native_mb,
+            "silent_collisions": self.silent_collisions,
+            "detected_collisions": self.detected_collisions,
+            "concealed_blocks": self.concealed_blocks,
+            "injected_collisions": self.injected_collisions,
+            "fallback_writes": self.fallback_writes,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "RunResult":
+        """Inverse of :meth:`to_jsonable`."""
+        matches = data["matches"]
+        read_stats = data["read_stats"]
+        mem = data["mem_stats"]
+        return cls(
+            profile_key=data["profile_key"],
+            scheme_name=data["scheme_name"],
+            n_frames=data["n_frames"],
+            elapsed=data["elapsed"],
+            energy=EnergyBreakdown(**data["energy"]),
+            drops=data["drops"],
+            residency={PowerState[name]: v
+                       for name, v in data["residency"].items()},
+            transitions=data["transitions"],
+            timeline=FrameTimeline.from_jsonable(data["timeline"]),
+            matches=None if matches is None else FrameMatches(**matches),
+            write_bytes=data["write_bytes"],
+            raw_write_bytes=data["raw_write_bytes"],
+            read_stats=(None if read_stats is None
+                        else ReadStats(**read_stats)),
+            mem_stats=AccessStats(
+                activations=mem["activations"],
+                read_bursts=mem["read_bursts"],
+                write_bursts=mem["write_bursts"],
+                by_agent=dict(mem["by_agent"]),
+                acts_by_agent=dict(mem["acts_by_agent"]),
+            ),
+            peak_footprint_native_mb=data["peak_footprint_native_mb"],
+            silent_collisions=data.get("silent_collisions", 0),
+            detected_collisions=data.get("detected_collisions", 0),
+            concealed_blocks=data.get("concealed_blocks", 0),
+            injected_collisions=data.get("injected_collisions", 0),
+            fallback_writes=data.get("fallback_writes", 0),
+        )
 
 
 @dataclass

@@ -69,6 +69,11 @@ class SessionResult:
     pause_seconds: float = 0.0
     stall_seconds: float = 0.0
     drops: int = 0
+    #: Fault-resilience census (all zero on a clean session).
+    retries: int = 0
+    abandoned_segments: int = 0
+    concealed_blocks: int = 0
+    fallback_writes: int = 0
     segments: List[RunResult] = field(default_factory=list)
     deliveries: List[object] = field(default_factory=list)
 
@@ -186,10 +191,14 @@ class SessionSimulator:
                            else None)
                 delivery = deliver_for_config(
                     self.config.network, self.config.video,
-                    source=profile, n_frames=count, seed=segment_seed)
+                    source=profile, n_frames=count, seed=segment_seed,
+                    faults=(self.config.faults
+                            if self.config.faults.enabled else None))
                 network_model = DeliveredNetworkModel(delivery, count)
                 result.deliveries.append(delivery)
                 result.network_energy += delivery.radio.total
+                result.retries += delivery.retries
+                result.abandoned_segments += delivery.abandoned_segments
                 # Mid-stream rebuffers always count; the startup wait
                 # only on a flush (cold start or seek) — a seamless
                 # clip-to-clip transition prefetches across the joint.
@@ -210,6 +219,8 @@ class SessionSimulator:
             result.playback_energy += run.energy.total
             result.playback_seconds += run.elapsed
             result.drops += run.drops
+            result.concealed_blocks += run.concealed_blocks
+            result.fallback_writes += run.fallback_writes
         return result
 
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..compression.dcc import compressed_sizes
 from ..config import MachConfig, SchemeConfig, VideoConfig
+from ..faults import FaultPlan
 from ..hashing.crc import crc16_blocks, crc32_blocks
 from ..hashing.digest import get_scheme
 from ..video.frame import DecodedFrame
@@ -81,7 +82,8 @@ class WritebackEngine:
 
     def __init__(self, video: VideoConfig, mach: MachConfig,
                  scheme: SchemeConfig, line_bytes: int = 64,
-                 unbounded_mach: bool = False) -> None:
+                 unbounded_mach: bool = False,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.video = video
         self.mach_config = mach
         self.scheme = scheme
@@ -93,6 +95,17 @@ class WritebackEngine:
         self._use_gradient = scheme.content_cache == "gab"
         self._digest_layout = (LayoutMode.POINTER_DIGEST
                                if scheme.display_caching else LayoutMode.POINTER)
+        # Fault injection: a plan whose digest_collision rate is
+        # non-zero turns some matches into hash collisions.  With
+        # verification on, the engine compares the actual bytes (a
+        # cheap on-chip compare the paper's CRC32 scheme omits),
+        # detects the lie, and stores the full block instead of a
+        # wrong pointer — content caching is never silently incorrect.
+        self._fault_plan = (fault_plan if fault_plan is not None
+                            and fault_plan.config.digest_collision > 0
+                            else None)
+        self._verify = (fault_plan.config.verify_digests
+                        if fault_plan is not None else True)
 
     # -- public API -----------------------------------------------------------
 
@@ -191,9 +204,20 @@ class WritebackEngine:
         ring.begin_frame(frame.index)
         cursor = data_base
         digest_mode = self._digest_layout is LayoutMode.POINTER_DIGEST
+        fault_plan = self._fault_plan
         for i in range(n):
             digest = int(tags[i])
             kind, address = ring.lookup(digest, int(aux[i]))
+            if (kind is not MatchKind.NONE and fault_plan is not None
+                    and fault_plan.digest_collision(frame.index, i)):
+                # Injected collision: the digest matched but the bytes
+                # would not have.
+                ring.stats.injected_collisions += 1
+                if self._verify:
+                    ring.stats.fallback_writes += 1
+                    kind, address = MatchKind.NONE, None
+                else:
+                    ring.stats.silent_collisions += 1
             ring.stats.record(kind, digest)
             if kind is MatchKind.NONE:
                 kinds[i] = int(RecordKind.STORED)

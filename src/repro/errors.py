@@ -38,3 +38,17 @@ class CodecError(ReproError):
 
 class LayoutError(ReproError):
     """A frame-buffer layout record is malformed."""
+
+
+class NetworkError(ReproError):
+    """The delivery scheduler was misconfigured or the link failed
+    in a way the client cannot absorb (no bandwidth, bad mode, ...)."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan is inconsistent or was misapplied."""
+
+
+class RunnerError(ReproError):
+    """The experiment runner could not supervise a job (timeout,
+    checkpoint mismatch, exhausted retries)."""

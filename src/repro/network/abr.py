@@ -28,6 +28,23 @@ class AbrContext:
     buffer_capacity: float
     throughput: float  # harmonic-mean recent throughput, bytes/s (0 = none)
     last_rung: int  # rung of the previous segment (-1 before the first)
+    consecutive_failures: int = 0  # failed attempts on the current segment
+
+
+def panic_rung(rung: int, context: AbrContext,
+               panic_after_failures: int) -> int:
+    """Panic-down override applied on top of any policy's choice.
+
+    After ``panic_after_failures`` consecutive failed download
+    attempts the client stops trusting its throughput/buffer signals
+    — the link is hostile — and fetches the lowest rung until a
+    download succeeds.  Every policy gets this behaviour for free
+    because the delivery scheduler applies it after ``select``.
+    """
+    if (panic_after_failures > 0
+            and context.consecutive_failures >= panic_after_failures):
+        return 0
+    return rung
 
 
 class AbrPolicy:

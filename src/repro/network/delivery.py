@@ -16,7 +16,20 @@ buffer runs dry.  Two download modes bracket the radio's energy story:
   the delivery-side mirror of the paper's VD race-to-sleep).
 
 Everything is deterministic: the same ``(segmented, trace, abr,
-config)`` inputs produce a bit-identical :class:`DeliveryResult`.
+config)`` inputs produce a bit-identical :class:`DeliveryResult` —
+including under fault injection, whose schedule is a pure function of
+the fault seed (:class:`repro.faults.FaultPlan`).
+
+When a :class:`~repro.faults.FaultPlan` is supplied, each segment
+download becomes a bounded retry loop: an attempt can be lost
+mid-transfer, arrive corrupted (checksum failure), or hang until the
+per-attempt timeout; every failed attempt still costs radio energy,
+the client backs off exponentially, and after
+``panic_after_failures`` consecutive failures the ABR panics down to
+the lowest rung.  A segment that exhausts ``max_retries`` is
+**abandoned**: its content seconds play as a concealed freeze (the
+buffer advances, the frames repeat the last good content), which is
+quality loss, not a crash.
 
 :class:`DeliveredNetworkModel` adapts a result to the
 ``frames_available`` / ``time_when_available`` interface of
@@ -35,10 +48,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..config import NetworkConfig, RadioConfig, VideoConfig
-from ..errors import SchedulingError
+from ..config import FaultConfig, NetworkConfig, RadioConfig, VideoConfig
+from ..errors import NetworkError
+from ..faults import FaultPlan, SegmentFault
 from ..video.synthesis import VideoProfile
-from .abr import AbrContext, AbrPolicy, make_abr
+from .abr import AbrContext, AbrPolicy, make_abr, panic_rung
 from .bandwidth import (
     BandwidthTrace,
     constant_trace,
@@ -65,6 +79,8 @@ class ChunkArrival:
     start: float  # wall time the radio went active for this chunk
     finish: float  # wall time the last byte landed
     playback_position: float  # content seconds consumed at ``finish``
+    attempts: int = 1  # download attempts this segment consumed
+    abandoned: bool = False  # retries exhausted: plays as a freeze
 
     @property
     def throughput(self) -> float:
@@ -88,9 +104,22 @@ class DeliveryResult:
     n_frames: int
     mean_rate: float  # duration-weighted mean of the fetched rungs
 
+    # Fault/resilience accounting (all zero on a fault-free run).
+    retries: int = 0  # failed download attempts that were retried
+    losses: int = 0  # attempts that died mid-transfer
+    corruptions: int = 0  # attempts that failed their arrival checksum
+    timeouts: int = 0  # attempts that hit the per-attempt timeout
+    abandoned_segments: int = 0  # segments that exhausted max_retries
+    panic_fetches: int = 0  # attempts forced to rung 0 by panic-down
+
     @property
     def total_stall_seconds(self) -> float:
         return self.startup_seconds + self.stall_seconds
+
+    @property
+    def failed_attempts(self) -> int:
+        """Download attempts that did not deliver a segment."""
+        return self.losses + self.corruptions + self.timeouts
 
     def frame_arrival_playback(self) -> np.ndarray:
         """Per-frame availability in *playback* time (stalls removed).
@@ -115,7 +144,7 @@ class DeliveredNetworkModel:
         times = result.frame_arrival_playback()
         if total_frames is not None:
             if total_frames > len(times):
-                raise SchedulingError(
+                raise NetworkError(
                     f"delivery covered {len(times)} frames but the "
                     f"pipeline needs {total_frames}")
             times = times[:total_frames]
@@ -176,6 +205,7 @@ def simulate_delivery(
     preroll_seconds: float = 2.0,
     capacity_seconds: float = 10.0,
     low_watermark_seconds: float = 3.0,
+    faults: Optional[FaultPlan] = None,
 ) -> DeliveryResult:
     """Run the download/playback loop for one title.
 
@@ -185,12 +215,16 @@ def simulate_delivery(
     is, for titles shorter than the pre-roll) and thereafter drains in
     wall time, stalling when the buffer empties before the next
     segment lands.
+
+    ``faults`` enables lossy-link behaviour (see the module
+    docstring); ``faults=None`` follows the fault-free fast path
+    bit-for-bit.
     """
     if download_mode not in ("steady", "burst"):
-        raise SchedulingError(f"unknown download mode: {download_mode!r}")
+        raise NetworkError(f"unknown download mode: {download_mode!r}")
     max_segment = max(s.duration for s in segmented.segments)
     if capacity_seconds < max_segment:
-        raise SchedulingError("buffer cannot hold even one segment")
+        raise NetworkError("buffer cannot hold even one segment")
     preroll = min(preroll_seconds, segmented.duration,
                   capacity_seconds - 1e-9)
     low_watermark = max(0.0, min(low_watermark_seconds,
@@ -203,6 +237,9 @@ def simulate_delivery(
     busy = []
     switches = 0
     last_rung = -1
+    fault_cfg = faults.config if faults is not None else None
+    retries = losses = corruptions = timeouts = 0
+    abandoned = panic_fetches = 0
 
     now = 0.0  # wall clock
     played = 0.0  # content seconds consumed
@@ -233,39 +270,101 @@ def simulate_delivery(
                 advance(now + buffer.drain_time_to(
                     capacity_seconds - segment.duration))
         elif not playing and buffer.room < segment.duration:
-            raise SchedulingError(
+            raise NetworkError(
                 "pre-roll filled the buffer before playback started")
 
-        # --- pick a rung and fetch -----------------------------------
-        context = AbrContext(
-            buffer_seconds=buffer.level,
-            buffer_capacity=capacity_seconds,
-            throughput=_harmonic_mean(throughputs),
-            last_rung=last_rung,
-        )
-        rung = abr.select(segmented.ladder, context)
-        if last_rung >= 0 and rung != last_rung:
-            switches += 1
-        size = segment.size(rung)
+        # --- pick a rung and fetch (retrying under faults) -----------
+        attempt = 0
+        consecutive = 0
+        delivered = None
+        max_attempts = 1 + (fault_cfg.max_retries if fault_cfg else 0)
+        while attempt < max_attempts:
+            context = AbrContext(
+                buffer_seconds=buffer.level,
+                buffer_capacity=capacity_seconds,
+                throughput=_harmonic_mean(throughputs),
+                last_rung=last_rung,
+                consecutive_failures=consecutive,
+            )
+            rung = abr.select(segmented.ladder, context)
+            if fault_cfg is not None:
+                panicked = panic_rung(rung, context,
+                                      fault_cfg.panic_after_failures)
+                if panicked != rung:
+                    panic_fetches += 1
+                    rung = panicked
+            size = segment.size(rung)
 
-        start = now
-        if model.is_idle_at(start, last_busy_end):
-            start += radio.promotion_latency
-        finish = trace.transfer_time(size, start)
-        if math.isinf(finish):
-            raise SchedulingError(
-                f"trace {trace.name!r} has no bandwidth left for "
-                f"segment {segment.index}")
-        advance(finish)
-        busy.append((start, finish))
-        last_busy_end = finish
-        throughputs.append(size / max(finish - start, 1e-12))
-        buffer.fill(segment.duration)
-        chunks.append(ChunkArrival(
-            index=segment.index, rung=rung, size_bytes=size,
-            n_frames=segment.n_frames, start=start, finish=finish,
-            playback_position=played))
-        last_rung = rung
+            start = now
+            if model.is_idle_at(start, last_busy_end):
+                start += radio.promotion_latency
+            finish = trace.transfer_time(size, start)
+            if math.isinf(finish):
+                raise NetworkError(
+                    f"trace {trace.name!r} has no bandwidth left for "
+                    f"segment {segment.index}")
+
+            # Decide whether this attempt fails, and when.  Failed
+            # attempts still occupy the radio (retry energy), but no
+            # bytes reach the buffer or the throughput estimator.
+            failure_end = None
+            if fault_cfg is not None:
+                fault = faults.segment_fault(segment.index, attempt)
+                timeout_end = start + fault_cfg.segment_timeout
+                if fault is SegmentFault.TIMEOUT:
+                    timeouts += 1
+                    failure_end = timeout_end
+                elif fault is SegmentFault.LOSS:
+                    losses += 1
+                    frac = faults.loss_fraction(segment.index, attempt)
+                    failure_end = min(start + frac * (finish - start),
+                                      timeout_end)
+                elif finish > timeout_end:
+                    timeouts += 1  # natural timeout: link too slow
+                    failure_end = timeout_end
+                elif fault is SegmentFault.CORRUPT:
+                    corruptions += 1
+                    failure_end = finish  # full transfer, bad checksum
+
+            if failure_end is not None:
+                advance(failure_end)
+                busy.append((start, failure_end))
+                last_busy_end = failure_end
+                consecutive += 1
+                attempt += 1
+                if attempt < max_attempts:
+                    retries += 1
+                    backoff = fault_cfg.retry_backoff * (2 ** (attempt - 1))
+                    advance(now + backoff)
+                continue
+
+            advance(finish)
+            busy.append((start, finish))
+            last_busy_end = finish
+            throughputs.append(size / max(finish - start, 1e-12))
+            buffer.fill(segment.duration)
+            chunks.append(ChunkArrival(
+                index=segment.index, rung=rung, size_bytes=size,
+                n_frames=segment.n_frames, start=start, finish=finish,
+                playback_position=played, attempts=attempt + 1))
+            if last_rung >= 0 and rung != last_rung:
+                switches += 1
+            last_rung = rung
+            delivered = rung
+            break
+
+        if delivered is None:
+            # Retries exhausted: abandon the segment.  Its content
+            # seconds play as a concealed freeze — the buffer advances
+            # so playback (and every later segment) proceeds, but no
+            # bytes ever arrive for these frames.
+            abandoned += 1
+            buffer.fill(segment.duration)
+            chunks.append(ChunkArrival(
+                index=segment.index, rung=0, size_bytes=0,
+                n_frames=segment.n_frames, start=now, finish=now,
+                playback_position=played, attempts=max_attempts,
+                abandoned=True))
 
         if not playing and (buffer.level >= preroll - 1e-9
                             or segment.index == segmented.n_segments - 1):
@@ -275,7 +374,7 @@ def simulate_delivery(
     # Play out whatever is still buffered.
     advance(now + buffer.level)
 
-    mean_rate = (sum(segmented.ladder[c.rung]
+    mean_rate = (sum(0.0 if c.abandoned else segmented.ladder[c.rung]
                      * segmented.segments[c.index].duration
                      for c in chunks) / segmented.duration)
     radio_energy = model.energy(busy, horizon=now)
@@ -290,6 +389,12 @@ def simulate_delivery(
         fps=segmented.fps,
         n_frames=segmented.n_frames,
         mean_rate=mean_rate,
+        retries=retries,
+        losses=losses,
+        corruptions=corruptions,
+        timeouts=timeouts,
+        abandoned_segments=abandoned,
+        panic_fetches=panic_fetches,
     )
 
 
@@ -299,12 +404,19 @@ def deliver_for_config(
     source: Optional[VideoProfile] = None,
     n_frames: Optional[int] = None,
     seed: int = 0,
+    faults: Optional[FaultConfig] = None,
 ) -> DeliveryResult:
     """Convenience wrapper: build trace + segments + ABR from a
-    :class:`NetworkConfig` and run :func:`simulate_delivery`."""
+    :class:`NetworkConfig` and run :func:`simulate_delivery`.
+
+    ``faults`` (a :class:`~repro.config.FaultConfig`) turns on
+    deterministic delivery-side fault injection; inert configs (all
+    rates zero) are equivalent to ``None``.
+    """
     segmented = segment_video(
         source, video, n_frames=n_frames, ladder=network.ladder,
         segment_seconds=network.segment_seconds, seed=seed)
+    plan = FaultPlan.from_config(faults) if faults is not None else None
     return simulate_delivery(
         segmented,
         trace=_resolve_trace(network),
@@ -314,4 +426,5 @@ def deliver_for_config(
         preroll_seconds=network.preroll_seconds(video.fps),
         capacity_seconds=network.buffer_seconds(video.fps),
         low_watermark_seconds=network.low_watermark_seconds,
+        faults=plan,
     )

@@ -1,4 +1,4 @@
-"""Parallel experiment runner.
+"""Supervised parallel experiment runner.
 
 The benchmark suite runs at a reduced frame count so it finishes in
 minutes; reproducing the paper at the *full* Table 1 frame counts
@@ -6,22 +6,69 @@ minutes; reproducing the paper at the *full* Table 1 frame counts
 (video, scheme) pairs.  :func:`run_matrix` fans those out over a
 process pool and returns the results keyed by pair.
 
-Simulations are deterministic, so the parallel matrix is bit-identical
-to a sequential run.
+A multi-hour matrix must also survive the real world: one crashing
+job must not take down the other 95, a wedged worker must not hold
+the pool forever, and a power cut must not discard completed work.
+The runner therefore supervises its jobs — per-job timeout, bounded
+retries, crashed jobs isolated into ``MatrixResult.errors`` — and can
+persist finished jobs to a JSON checkpoint that a rerun resumes from.
+
+Simulations are deterministic, so the parallel matrix — and a
+checkpoint-resumed one — is bit-identical to a sequential run.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from collections.abc import Mapping
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .config import FIG11_SCHEMES, SchemeConfig, SimulationConfig
 from .core.pipeline import simulate
 from .core.results import RunResult
+from .errors import ReproError, RunnerError
 from .video import workload, workload_keys
 
 MatrixKey = Tuple[str, str]  # (video key, scheme name)
+
+_CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class MatrixResult(Mapping):
+    """A matrix run's results plus the jobs that did not survive.
+
+    Behaves as a read-only mapping ``{(video, scheme): RunResult}`` of
+    the *successful* jobs, so existing callers that iterate or index a
+    plain dict keep working; supervision outcomes live alongside:
+
+    * ``errors`` — ``{(video, scheme): "ExcType: message"}`` for jobs
+      that exhausted their retries;
+    * ``retried`` — jobs that failed at least once but recovered;
+    * ``resumed`` — jobs loaded from a checkpoint instead of run.
+    """
+
+    results: Dict[MatrixKey, RunResult] = field(default_factory=dict)
+    errors: Dict[MatrixKey, str] = field(default_factory=dict)
+    retried: List[MatrixKey] = field(default_factory=list)
+    resumed: List[MatrixKey] = field(default_factory=list)
+
+    def __getitem__(self, key: MatrixKey) -> RunResult:
+        return self.results[key]
+
+    def __iter__(self) -> Iterator[MatrixKey]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
 
 
 def _run_one(args) -> Tuple[MatrixKey, RunResult]:
@@ -31,6 +78,108 @@ def _run_one(args) -> Tuple[MatrixKey, RunResult]:
     return (video_key, scheme.name), result
 
 
+def _job_key(job) -> MatrixKey:
+    return job[0], job[1].name
+
+
+# -- checkpointing -------------------------------------------------------------
+
+
+def _load_checkpoint(path: str, meta: Dict[str, object]
+                     ) -> Dict[MatrixKey, RunResult]:
+    """Read completed jobs from ``path`` (empty dict if absent)."""
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise RunnerError(f"unreadable checkpoint {path!r}: {exc}") from exc
+    if data.get("version") != _CHECKPOINT_VERSION:
+        raise RunnerError(
+            f"checkpoint {path!r} has version {data.get('version')!r}, "
+            f"expected {_CHECKPOINT_VERSION}")
+    if data.get("meta") != meta:
+        raise RunnerError(
+            f"checkpoint {path!r} was written by a different matrix "
+            f"(saved meta {data.get('meta')!r} != current {meta!r}); "
+            "delete it or pass a different checkpoint path")
+    completed: Dict[MatrixKey, RunResult] = {}
+    for entry in data.get("completed", []):
+        key = (entry["video"], entry["scheme"])
+        completed[key] = RunResult.from_jsonable(entry["result"])
+    return completed
+
+
+def _save_checkpoint(path: str, meta: Dict[str, object],
+                     results: Dict[MatrixKey, RunResult]) -> None:
+    """Atomically persist every finished job (tmp + rename)."""
+    payload = {
+        "version": _CHECKPOINT_VERSION,
+        "meta": meta,
+        "completed": [
+            {"video": video, "scheme": scheme,
+             "result": result.to_jsonable()}
+            for (video, scheme), result in sorted(results.items())
+        ],
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+# -- supervised execution ------------------------------------------------------
+
+
+def _run_round_inline(jobs) -> Tuple[Dict[MatrixKey, RunResult],
+                                     List[Tuple[object, str]]]:
+    """One attempt over ``jobs`` without a pool (timeouts inapplicable:
+    there is no worker to abandon, so a wedged job wedges the caller
+    exactly as it would without the runner)."""
+    done: Dict[MatrixKey, RunResult] = {}
+    failed: List[Tuple[object, str]] = []
+    for job in jobs:
+        try:
+            key, result = _run_one(job)
+            done[key] = result
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            failed.append((job, f"{type(exc).__name__}: {exc}"))
+    return done, failed
+
+
+def _run_round_pool(jobs, processes: int, job_timeout: Optional[float]
+                    ) -> Tuple[Dict[MatrixKey, RunResult],
+                               List[Tuple[object, str]]]:
+    """One attempt over ``jobs`` on a fresh process pool.
+
+    ``job_timeout`` bounds how long the caller waits on each future.
+    Futures are drained in submission order while all jobs run in
+    parallel, so the wait on the first future spans its full runtime
+    and later futures are typically already resolved — the bound is an
+    approximation of per-job wall-clock, not of CPU time.  A timed-out
+    worker cannot be killed through ``concurrent.futures``; its future
+    is cancelled and its result, if it ever arrives, is discarded when
+    the round's pool shuts down.
+    """
+    done: Dict[MatrixKey, RunResult] = {}
+    failed: List[Tuple[object, str]] = []
+    with ProcessPoolExecutor(
+            max_workers=min(processes, len(jobs))) as pool:
+        futures = [(job, pool.submit(_run_one, job)) for job in jobs]
+        for job, future in futures:
+            try:
+                key, result = future.result(timeout=job_timeout)
+                done[key] = result
+            except (TimeoutError, _FuturesTimeout):
+                future.cancel()
+                failed.append(
+                    (job, f"TimeoutError: exceeded {job_timeout}s"))
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                failed.append((job, f"{type(exc).__name__}: {exc}"))
+    return done, failed
+
+
 def run_matrix(
     videos: Optional[Sequence[str]] = None,
     schemes: Sequence[SchemeConfig] = FIG11_SCHEMES,
@@ -38,8 +187,12 @@ def run_matrix(
     seed: int = 0,
     config: Optional[SimulationConfig] = None,
     processes: Optional[int] = None,
-) -> Dict[MatrixKey, RunResult]:
-    """Run every (video, scheme) pair, optionally in parallel.
+    job_timeout: Optional[float] = None,
+    max_retries: int = 0,
+    checkpoint: Optional[str] = None,
+    isolate_errors: bool = True,
+) -> MatrixResult:
+    """Run every (video, scheme) pair under supervision.
 
     Args:
         videos: workload keys (default: all 16).
@@ -51,29 +204,70 @@ def run_matrix(
         processes: worker processes.  ``None`` (the default) uses
             every core (``os.cpu_count()``); pass 1 to force the
             inline, pool-free path.
+        job_timeout: seconds to wait per job before abandoning it
+            (pool mode only; ``None`` waits forever).
+        max_retries: extra attempts for a failed or timed-out job
+            before it lands in ``errors``.
+        checkpoint: JSON file to persist finished jobs to.  If it
+            already exists (same matrix meta), its jobs are loaded
+            instead of re-run, so a killed matrix resumes where it
+            stopped — bit-identically, since simulations are
+            deterministic.
+        isolate_errors: collect failing jobs into ``errors`` (the
+            default) instead of re-raising the first failure.
 
     Returns:
-        ``{(video_key, scheme_name): RunResult}``.
+        A :class:`MatrixResult` — mapping of successful
+        ``{(video_key, scheme_name): RunResult}`` plus ``errors``.
     """
     if processes is None:
         processes = os.cpu_count() or 1
+    if max_retries < 0:
+        raise RunnerError(f"max_retries must be >= 0, got {max_retries}")
     keys = list(videos) if videos is not None else list(workload_keys())
     jobs = [(video_key, scheme, n_frames, seed, config)
             for video_key in keys for scheme in schemes]
-    results: Dict[MatrixKey, RunResult] = {}
-    if processes <= 1 or len(jobs) <= 1:
-        for job in jobs:
-            key, result = _run_one(job)
-            results[key] = result
-        return results
-    with ProcessPoolExecutor(max_workers=min(processes, len(jobs))) as pool:
-        for key, result in pool.map(_run_one, jobs):
-            results[key] = result
-    return results
+
+    matrix = MatrixResult()
+    meta = {"n_frames": n_frames, "seed": seed}
+    if checkpoint is not None:
+        wanted = {_job_key(job) for job in jobs}
+        for key, result in _load_checkpoint(checkpoint, meta).items():
+            if key in wanted:
+                matrix.results[key] = result
+                matrix.resumed.append(key)
+        jobs = [job for job in jobs if _job_key(job) not in matrix.results]
+
+    remaining = jobs
+    last_error: Dict[MatrixKey, str] = {}
+    for attempt in range(1 + max_retries):
+        if not remaining:
+            break
+        if processes <= 1 or len(remaining) <= 1:
+            done, failures = _run_round_inline(remaining)
+        else:
+            done, failures = _run_round_pool(remaining, processes,
+                                             job_timeout)
+        for key in done:
+            if key in last_error:
+                matrix.retried.append(key)
+        matrix.results.update(done)
+        if done and checkpoint is not None:
+            _save_checkpoint(checkpoint, meta, matrix.results)
+        remaining = [job for job, _ in failures]
+        last_error = {_job_key(job): message for job, message in failures}
+
+    matrix.errors = last_error
+    if matrix.errors and not isolate_errors:
+        key, message = next(iter(matrix.errors.items()))
+        raise RunnerError(
+            f"job {key} failed after {1 + max_retries} attempt(s): "
+            f"{message}")
+    return matrix
 
 
 def normalized_matrix(
-    results: Dict[MatrixKey, RunResult],
+    results: Mapping,
     baseline_name: str = "Baseline",
 ) -> Dict[str, Dict[str, float]]:
     """Reduce a matrix to {video: {scheme: normalized energy}}."""
@@ -81,6 +275,14 @@ def normalized_matrix(
                     key=lambda key: (len(key), key))
     table: Dict[str, Dict[str, float]] = {}
     for video in videos:
+        if (video, baseline_name) not in results:
+            available = sorted(scheme for v, scheme in results
+                               if v == video)
+            raise ReproError(
+                f"cannot normalize video {video!r}: no "
+                f"{baseline_name!r} run in the matrix (schemes present: "
+                f"{available}); run the baseline scheme or pass "
+                f"baseline_name=")
         base = results[video, baseline_name].energy.total
         table[video] = {
             scheme: run.energy.total / base

@@ -206,6 +206,78 @@ def validate_against_paper(
     add("burst-vs-steady radio energy at equal stalls (BurstLink)",
         "<1.0", ratio, same_stalls and ratio < 1.0)
 
+    # --- fault injection and resilience ------------------------------------
+    report("faults")
+    from .config import FaultConfig
+
+    # 1. A faulted playback completes, conceals a bounded fraction of
+    #    blocks, and never lets an injected digest collision reach the
+    #    screen: every one is verified and falls back to a full store.
+    fault_sim = dc_replace(cfg, faults=FaultConfig(
+        block_bit_error=2e-5, digest_collision=1e-3))
+    faulted = simulate(workload("V8"), GAB, n_frames=frames,
+                       seed=seed, config=fault_sim)
+    clean = runs.get("V8", GAB)
+    total_blocks = faulted.n_frames * cfg.video.blocks_per_frame
+    conceal_frac = faulted.concealed_blocks / total_blocks
+    resilient = (faulted.concealed_blocks > 0
+                 and conceal_frac < 0.05
+                 and faulted.injected_collisions > 0
+                 and faulted.fallback_writes == faulted.injected_collisions
+                 and faulted.silent_collisions == clean.silent_collisions)
+    add("faulted run: bounded concealment, zero wrong MACH blocks",
+        "<0.05 concealed, 0 silent", conceal_frac, resilient)
+
+    # 2. Retries are not free: on a constant link with a pinned rung
+    #    (so ABR cannot mask the extra transfers), a lossy run's radio
+    #    active energy must be at least the lossless run's.
+    lossy_net = dc_replace(net_cfg, trace_kind="constant",
+                           download_mode="burst")
+    lossless_d = deliver_for_config(lossy_net, cfg.video,
+                                    source=workload("V8"),
+                                    n_frames=1800, seed=seed)
+    lossy_d = deliver_for_config(lossy_net, cfg.video,
+                                 source=workload("V8"),
+                                 n_frames=1800, seed=seed,
+                                 faults=FaultConfig(segment_loss=0.25,
+                                                    seed=3))
+    retry_ratio = (lossy_d.radio.active_energy
+                   / max(lossless_d.radio.active_energy, 1e-12))
+    add("lossy delivery pays for its retries (radio active energy)",
+        ">=1.0", retry_ratio,
+        lossy_d.retries > 0 and retry_ratio >= 1.0)
+
+    # 3. A killed-and-resumed matrix is bit-identical to an
+    #    uninterrupted one: the checkpoint holds exact results and the
+    #    remaining jobs are deterministic.
+    report("checkpoint")
+    import os
+    import tempfile
+
+    from .runner import run_matrix
+
+    ckpt_frames = min(frames, 32)
+    ckpt_schemes = (BASELINE, GAB)
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = os.path.join(tmp, "matrix.json")
+        run_matrix(videos=["V1"], schemes=ckpt_schemes,
+                   n_frames=ckpt_frames, seed=seed, config=cfg,
+                   processes=1, checkpoint=ckpt)  # the "killed" run
+        resumed = run_matrix(videos=["V1", "V3"], schemes=ckpt_schemes,
+                             n_frames=ckpt_frames, seed=seed, config=cfg,
+                             processes=1, checkpoint=ckpt)
+    fresh = run_matrix(videos=["V1", "V3"], schemes=ckpt_schemes,
+                       n_frames=ckpt_frames, seed=seed, config=cfg,
+                       processes=1)
+    identical = (len(resumed.resumed) == len(ckpt_schemes)
+                 and set(resumed) == set(fresh)
+                 and all(resumed[k].energy.total == fresh[k].energy.total
+                         and (resumed[k].timeline.finish
+                              == fresh[k].timeline.finish).all()
+                         for k in fresh))
+    add("checkpoint-resumed matrix bit-identical to uninterrupted",
+        "yes", float(identical), identical)
+
     return checks
 
 

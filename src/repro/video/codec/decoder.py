@@ -1,4 +1,16 @@
-"""The functional decoder matching :mod:`.encoder` bit-exactly."""
+"""The functional decoder matching :mod:`.encoder` bit-exactly.
+
+``Decoder(conceal_errors=True)`` adds macroblock error concealment: a
+corrupt bitstream no longer raises, it degrades.  When a macroblock
+fails to parse, the reader has lost sync (Exp-Golomb codes carry no
+resynchronization markers below the frame header), so the decoder
+conceals the remainder of the frame — copying the co-located region
+from the reference frame, or mid-gray when no reference exists — and
+counts what it concealed.  This mirrors what hardware decoders do with
+a damaged slice, and it is the functional-codec counterpart of the
+block-level concealment the energy pipeline applies under
+:class:`repro.faults.FaultPlan` bit-error injection.
+"""
 
 from __future__ import annotations
 
@@ -19,34 +31,110 @@ _MODE_SKIP = 0
 _MODE_INTER = 1
 _MODE_INTRA = 2
 
+#: Concealment fill when no reference frame exists (mid-gray).
+_NO_REFERENCE_FILL = 128
+
 
 class Decoder:
-    """Stateful decoder for the I/P stream produced by :class:`Encoder`."""
+    """Stateful decoder for the I/P stream produced by :class:`Encoder`.
 
-    def __init__(self) -> None:
+    Args:
+        conceal_errors: instead of raising on a corrupt bitstream,
+            conceal the damaged macroblocks from the reference frame
+            and keep going.  ``concealed_macroblocks`` and
+            ``concealed_frames`` count the damage absorbed.
+    """
+
+    def __init__(self, conceal_errors: bool = False) -> None:
         self._reference: Optional[np.ndarray] = None
+        self.conceal_errors = conceal_errors
+        self.concealed_macroblocks = 0
+        self.concealed_frames = 0
 
     def decode_frame(self, data: bytes) -> np.ndarray:
         """Decode one frame; returns the reconstructed uint8 image."""
         reader = BitReader(data)
-        frame_type = FrameType.I if reader.read_ue() == 0 else FrameType.P
-        width = reader.read_ue() * MACROBLOCK
-        height = reader.read_ue() * MACROBLOCK
-        quality = reader.read_ue()
-        table = quant_table(quality, TRANSFORM)
+        try:
+            frame_type = (FrameType.I if reader.read_ue() == 0
+                          else FrameType.P)
+            width = reader.read_ue() * MACROBLOCK
+            height = reader.read_ue() * MACROBLOCK
+            quality = reader.read_ue()
+            table = quant_table(quality, TRANSFORM)
+        except CodecError:
+            # The header itself is damaged: geometry is unknowable, so
+            # concealment can only repeat the whole reference frame.
+            if not self.conceal_errors or self._reference is None:
+                raise
+            image = self._reference.copy()
+            self._count_concealment(image.shape[0] * image.shape[1]
+                                    // (MACROBLOCK * MACROBLOCK))
+            return image
+        if self.conceal_errors and self._reference is not None \
+                and (height, width) != self._reference.shape:
+            # Geometry changed mid-stream: the header bits are lies.
+            image = self._reference.copy()
+            self._count_concealment(image.shape[0] * image.shape[1]
+                                    // (MACROBLOCK * MACROBLOCK))
+            return image
         if frame_type is FrameType.P and self._reference is None:
-            raise CodecError("P frame arrived before any I frame")
+            if not self.conceal_errors:
+                raise CodecError("P frame arrived before any I frame")
+            # A bit flip can turn the first I frame's type field into P;
+            # with nothing to predict from, conceal the frame as gray.
+            image = np.full((height, width), _NO_REFERENCE_FILL,
+                            dtype=np.uint8)
+            self._count_concealment(height * width
+                                    // (MACROBLOCK * MACROBLOCK))
+            self._reference = image
+            return image
         image = np.empty((height, width), dtype=np.uint8)
+        concealing = False
+        frame_damaged = False
         for top in range(0, height, MACROBLOCK):
             for left in range(0, width, MACROBLOCK):
-                if frame_type is FrameType.I:
-                    recon = self._read_residual(reader, table) + 128.0
-                else:
-                    recon = self._decode_p_macroblock(reader, table, top, left)
+                if not concealing:
+                    try:
+                        if frame_type is FrameType.I:
+                            recon = self._read_residual(reader, table) + 128.0
+                        else:
+                            recon = self._decode_p_macroblock(
+                                reader, table, top, left)
+                        if recon.shape != (MACROBLOCK, MACROBLOCK):
+                            # A corrupt motion vector walked off the
+                            # reference: the predictor came back short.
+                            raise CodecError("macroblock out of bounds")
+                    except (CodecError, ValueError):
+                        # ValueError: shape mismatch from a corrupt
+                        # motion vector's truncated predictor.
+                        if not self.conceal_errors:
+                            raise
+                        # Sync is gone: conceal from here to frame end.
+                        concealing = True
+                        frame_damaged = True
+                if concealing:
+                    recon = self._conceal_macroblock(top, left)
+                    self.concealed_macroblocks += 1
                 image[top:top + MACROBLOCK, left:left + MACROBLOCK] = (
                     recon if recon.dtype == np.uint8 else _clip_to_u8(recon))
+        if frame_damaged:
+            self.concealed_frames += 1
         self._reference = image
         return image
+
+    def _count_concealment(self, macroblocks: int) -> None:
+        self.concealed_macroblocks += macroblocks
+        self.concealed_frames += 1
+        # The repeated frame becomes the new reference implicitly
+        # (self._reference is unchanged — it *is* the output).
+
+    def _conceal_macroblock(self, top: int, left: int) -> np.ndarray:
+        """Temporal concealment: co-located reference content (or gray)."""
+        if self._reference is not None:
+            return motion_compensate(
+                self._reference, top, left, (0, 0), MACROBLOCK).copy()
+        return np.full((MACROBLOCK, MACROBLOCK), _NO_REFERENCE_FILL,
+                       dtype=np.uint8)
 
     def _decode_p_macroblock(self, reader: BitReader, table: np.ndarray,
                              top: int, left: int) -> np.ndarray:

@@ -15,7 +15,7 @@ from repro.config import (
     VideoConfig,
 )
 from repro.core.session import Play, simulate_session
-from repro.errors import ConfigError, SchedulingError
+from repro.errors import ConfigError, NetworkError
 from repro.network import (
     AbrContext,
     BufferBasedAbr,
@@ -293,7 +293,7 @@ class TestDelivery:
         assert result.switches == expected
 
     def test_capacity_too_small_rejected(self):
-        with pytest.raises(SchedulingError):
+        with pytest.raises(NetworkError):
             run_delivery(make_segments(), constant_trace(mbps(20)),
                          capacity_seconds=0.5)
 
@@ -335,7 +335,7 @@ class TestDeliveredNetworkModel:
     def test_too_few_frames_rejected(self):
         result = run_delivery(make_segments(n_frames=48),
                               constant_trace(mbps(100)))
-        with pytest.raises(SchedulingError):
+        with pytest.raises(NetworkError):
             DeliveredNetworkModel(result, 480)
 
 

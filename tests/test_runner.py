@@ -1,11 +1,15 @@
-"""Tests for the parallel experiment runner."""
+"""Tests for the supervised parallel experiment runner."""
 
 from __future__ import annotations
+
+import json
+import os
 
 import pytest
 
 from repro.config import BASELINE, GAB
-from repro.runner import normalized_matrix, run_matrix
+from repro.errors import ReproError, RunnerError
+from repro.runner import MatrixResult, normalized_matrix, run_matrix
 
 
 class TestRunMatrix:
@@ -32,3 +36,97 @@ class TestRunMatrix:
         table = normalized_matrix(results)
         assert table["V8"]["Baseline"] == pytest.approx(1.0)
         assert 0 < table["V8"]["GAB"] < 1.5
+
+    def test_normalized_matrix_names_missing_baseline(self):
+        results = run_matrix(videos=["V8"], schemes=(GAB,),
+                             n_frames=16, seed=2)
+        with pytest.raises(ReproError, match="Baseline.*V8|V8.*Baseline"):
+            normalized_matrix(results)
+
+
+class TestSupervision:
+    def test_crashing_job_isolated(self):
+        matrix = run_matrix(videos=["V8", "BOGUS"], schemes=(BASELINE,),
+                            n_frames=16, seed=2, processes=1)
+        assert set(matrix) == {("V8", "Baseline")}
+        assert ("BOGUS", "Baseline") in matrix.errors
+        assert "BOGUS" in matrix.errors["BOGUS", "Baseline"]
+        assert not matrix.ok
+
+    def test_crashing_job_isolated_in_pool(self):
+        matrix = run_matrix(videos=["V8", "BOGUS"],
+                            schemes=(BASELINE, GAB),
+                            n_frames=16, seed=2, processes=2)
+        assert set(matrix) == {("V8", "Baseline"), ("V8", "GAB")}
+        assert len(matrix.errors) == 2
+
+    def test_isolation_off_raises(self):
+        with pytest.raises(RunnerError, match="BOGUS"):
+            run_matrix(videos=["BOGUS"], schemes=(BASELINE,),
+                       n_frames=16, seed=2, processes=1,
+                       isolate_errors=False)
+
+    def test_retries_bounded(self):
+        matrix = run_matrix(videos=["BOGUS"], schemes=(BASELINE,),
+                            n_frames=16, seed=2, processes=1,
+                            max_retries=2)
+        assert ("BOGUS", "Baseline") in matrix.errors
+        with pytest.raises(RunnerError):
+            run_matrix(videos=["V8"], schemes=(BASELINE,), n_frames=16,
+                       max_retries=-1)
+
+    def test_mapping_protocol(self):
+        matrix = run_matrix(videos=["V8"], schemes=(BASELINE,),
+                            n_frames=16, seed=2, processes=1)
+        assert isinstance(matrix, MatrixResult)
+        assert len(matrix) == 1
+        assert ("V8", "Baseline") in matrix
+        assert matrix.get(("V8", "nope")) is None
+        assert dict(matrix.items())
+
+
+class TestCheckpointing:
+    def test_resume_is_bit_identical(self, tmp_path):
+        ckpt = str(tmp_path / "matrix.json")
+        kwargs = dict(schemes=(BASELINE, GAB), n_frames=16, seed=2,
+                      processes=1)
+        # "Killed" run: only V8 finished before the interruption.
+        run_matrix(videos=["V8"], checkpoint=ckpt, **kwargs)
+        resumed = run_matrix(videos=["V8", "V1"], checkpoint=ckpt,
+                             **kwargs)
+        fresh = run_matrix(videos=["V8", "V1"], **kwargs)
+        assert sorted(resumed.resumed) == [("V8", "Baseline"),
+                                           ("V8", "GAB")]
+        assert set(resumed) == set(fresh)
+        for key in fresh:
+            assert resumed[key].energy.total == fresh[key].energy.total
+            assert resumed[key].drops == fresh[key].drops
+            assert (resumed[key].timeline.finish
+                    == fresh[key].timeline.finish).all()
+            assert resumed[key].mem_stats.by_agent \
+                == fresh[key].mem_stats.by_agent
+
+    def test_checkpoint_written_atomically(self, tmp_path):
+        ckpt = str(tmp_path / "matrix.json")
+        run_matrix(videos=["V8"], schemes=(BASELINE,), n_frames=16,
+                   seed=2, processes=1, checkpoint=ckpt)
+        assert os.path.exists(ckpt)
+        assert not os.path.exists(ckpt + ".tmp")
+        data = json.loads(open(ckpt).read())
+        assert data["version"] == 1
+        assert len(data["completed"]) == 1
+
+    def test_mismatched_checkpoint_rejected(self, tmp_path):
+        ckpt = str(tmp_path / "matrix.json")
+        run_matrix(videos=["V8"], schemes=(BASELINE,), n_frames=16,
+                   seed=2, processes=1, checkpoint=ckpt)
+        with pytest.raises(RunnerError, match="different matrix"):
+            run_matrix(videos=["V8"], schemes=(BASELINE,), n_frames=16,
+                       seed=3, processes=1, checkpoint=ckpt)
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        ckpt = tmp_path / "matrix.json"
+        ckpt.write_text("{not json")
+        with pytest.raises(RunnerError, match="unreadable"):
+            run_matrix(videos=["V8"], schemes=(BASELINE,), n_frames=16,
+                       seed=2, processes=1, checkpoint=str(ckpt))
