@@ -25,7 +25,6 @@ from repro.config import (
 from repro.core.pipelines import RecordingPipeline, RenderPipeline
 from repro.core.related_work import simulate_slack_dvfs
 from repro.video import SyntheticVideo, workload
-from repro import simulate
 from .conftest import BENCH_FRAMES, BENCH_SEED, cached_run
 
 _FRAMES = min(BENCH_FRAMES, 96)

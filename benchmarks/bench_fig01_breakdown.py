@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from repro.analysis import format_table
 from repro.config import BASELINE
-from repro.decoder.power import PowerState
 from .conftest import cached_run
 
 _MIX = ("V1", "V4", "V8", "V12")

@@ -8,7 +8,6 @@ frame time and deep sleep grows).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import (
     Region,

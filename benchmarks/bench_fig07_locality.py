@@ -9,7 +9,6 @@ frames, ~43 % nowhere.
 from __future__ import annotations
 
 from repro.analysis import content_census, format_table
-from repro.config import SimulationConfig
 from repro.decoder import vd_cache_study
 from repro.video import SyntheticVideo, workload, workload_keys
 from .conftest import BENCH_FRAMES, BENCH_SEED

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.analysis import format_table
-from repro.config import GAB, DisplayConfig, SimulationConfig
+from repro.config import GAB, SimulationConfig
 from .conftest import cached_run
 
 _MIX = ("V1", "V8", "V11", "V14")

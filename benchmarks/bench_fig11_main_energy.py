@@ -15,12 +15,10 @@ from __future__ import annotations
 from repro.analysis import format_table
 from repro.config import (
     BASELINE,
-    BATCHING,
     DCC_ONLY,
     FIG11_SCHEMES,
     GAB,
     GAB_DCC,
-    RACE_TO_SLEEP,
 )
 from .conftest import cached_run
 

@@ -11,10 +11,9 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import numpy as np
 
 from repro.analysis import format_table
-from repro.config import GAB, MachConfig, SimulationConfig, VideoConfig
+from repro.config import GAB, SimulationConfig, VideoConfig
 from repro.core.gradient import to_gradient
 from repro.core.writeback import WritebackEngine
 from repro.hashing.digest import CollisionTracker, get_scheme

@@ -66,7 +66,7 @@ _CORE_EXPORTS = {
 }
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     """Defer core imports so substrate subpackages stay importable alone."""
     if name in _CORE_EXPORTS:
         import importlib

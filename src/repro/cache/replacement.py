@@ -8,8 +8,9 @@ implementations serve the VD cache, MACH, and the MACH buffer.
 
 from __future__ import annotations
 
-import random
 from typing import List, Protocol
+
+import numpy as np
 
 from ..errors import CacheError
 
@@ -70,11 +71,16 @@ class FifoPolicy:
 
 
 class RandomPolicy:
-    """Uniform random eviction with a private, seeded RNG."""
+    """Uniform random eviction with a private, seeded RNG.
+
+    Uses :class:`np.random.Generator` like every other seeded stream
+    in the tree (stdlib ``random.Random`` draws from a different,
+    unrelated sequence and was the lone style outlier here).
+    """
 
     def __init__(self, ways: int, seed: int = 0) -> None:
         self._ways = ways
-        self._rng = random.Random(seed)
+        self._rng = np.random.default_rng(seed)
 
     def on_hit(self, way: int) -> None:
         pass
@@ -83,7 +89,7 @@ class RandomPolicy:
         pass
 
     def victim(self, occupied: List[bool]) -> int:
-        return self._rng.randrange(self._ways)
+        return int(self._rng.integers(self._ways))
 
 
 def make_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:

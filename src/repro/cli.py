@@ -32,6 +32,7 @@ from .config import (
 )
 from .core.pipeline import simulate
 from .core.results import compare_schemes
+from .units import to_mj
 from .video import PAPER_WORKLOADS, SyntheticVideo, workload
 
 _SCHEMES = {s.name.lower(): s for s in
@@ -53,7 +54,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"{result.energy.per_frame_mj(result.n_frames):.2f} mJ/frame, "
           f"{result.drops} drops, "
           f"S3 residency {result.deep_sleep_residency:.1%}")
-    rows = [[name, value * 1e3, value / result.energy.total]
+    rows = [[name, to_mj(value), value / result.energy.total]
             for name, value in result.energy.as_dict().items()]
     print(format_table(["component", "mJ", "fraction"], rows,
                        title="\nEnergy breakdown"))
@@ -242,6 +243,47 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (
+        Baseline,
+        all_rules,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        rows = [[r.id, r.name, r.family, r.description] for r in all_rules()]
+        print(format_table(["id", "name", "family", "guards"], rows,
+                           title="repro-lint rules"))
+        return 0
+    select = ([rule_id.strip().upper()
+               for rule_id in args.select.split(",") if rule_id.strip()]
+              if args.select else None)
+    baseline = (load_baseline(args.baseline)
+                if args.baseline and not args.update_baseline
+                else Baseline.empty())
+    report = lint_paths(args.paths or None, baseline=baseline,
+                        select=select)
+    if args.update_baseline:
+        if not args.baseline:
+            print("--update-baseline requires --baseline PATH",
+                  file=sys.stderr)
+            return 2
+        write_baseline(Baseline.from_violations(report.violations),
+                       args.baseline)
+        print(f"wrote {len(report.violations)} finding(s) to "
+              f"{args.baseline}")
+        return 0
+    output = (report.render_json() if args.format == "json"
+              else report.render_text())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(output + "\n")
+    print(output)
+    return 0 if report.ok else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .validation import summarize, validate_against_paper
 
@@ -346,6 +388,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seed of the fault plan (content seed is "
                              "--seed)")
     faults.set_defaults(func=_cmd_faults)
+
+    lint = sub.add_parser(
+        "lint", help="static invariant checks: determinism, units, "
+                     "error policy, API contract")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories (default: the installed "
+                           "repro package)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline JSON of acknowledged findings")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite --baseline with the current findings")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule ids (default: all)")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json"))
+    lint.add_argument("--output", default=None,
+                      help="also write the report to this file")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     validate = sub.add_parser(
         "validate", help="check this build against the paper's claims")

@@ -376,7 +376,7 @@ class RadioConfig:
     tail_power: float = 0.62 * W
     idle_power: float = 12 * MW
     tail_seconds: float = 2.5
-    promotion_latency: float = 0.26
+    promotion_latency: float = 0.26  # s per idle -> active promotion
     promotion_energy: float = 0.55  # J per idle -> active promotion
 
     def __post_init__(self) -> None:

@@ -15,6 +15,7 @@ from typing import Dict
 from ..config import DisplayConfig, MachConfig, SchemeConfig
 from ..decoder.power import PowerState, PowerTracker
 from ..memory.energy import MemoryEnergy
+from ..units import to_mj
 
 
 @dataclass(frozen=True)
@@ -54,7 +55,7 @@ class EnergyBreakdown:
 
     def per_frame_mj(self, n_frames: int) -> float:
         """Average millijoules per frame."""
-        return self.total / n_frames * 1e3 if n_frames else 0.0
+        return to_mj(self.total / n_frames) if n_frames else 0.0
 
 
 def build_breakdown(

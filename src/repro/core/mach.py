@@ -26,6 +26,7 @@ import numpy as np
 
 from ..cache import SetAssociativeCache
 from ..config import MachConfig
+from ..errors import SchedulingError
 
 _AUX_MASK = 0xFFFF
 _TAG_MASK = 0xFFFFFFFF
@@ -201,7 +202,7 @@ class MachRing:
 
     def begin_frame(self, frame_index: int) -> None:
         if self._current is not None:
-            raise RuntimeError("previous frame was never ended")
+            raise SchedulingError("previous frame was never ended")
         self._current = FrameMach(self.config, frame_index, self.unbounded)
 
     def lookup(self, digest: int, aux: int = 0) -> Tuple[MatchKind, Optional[int]]:
@@ -235,7 +236,7 @@ class MachRing:
 
     def _require_current(self) -> FrameMach:
         if self._current is None:
-            raise RuntimeError("no frame in progress; call begin_frame()")
+            raise SchedulingError("no frame in progress; call begin_frame()")
         return self._current
 
     @property

@@ -20,15 +20,13 @@ per-access timestamps so DRAM row interleaving is faithful.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..config import (
-    MachConfig,
     SchemeConfig,
     SimulationConfig,
-    VideoConfig,
 )
 from ..decoder.power import PowerState, PowerTracker, plan_slack
 from ..decoder.vd import VideoDecoder
@@ -38,8 +36,9 @@ from ..display.framebuffer import FrameBufferPool
 from ..memory.address import RegionMap
 from ..memory.controller import MemoryController
 from ..memory.energy import memory_energy
-from ..video.frame import FrameType
+from ..video.frame import DecodedFrame, FrameType
 from ..video.synthesis import SyntheticVideo, VideoProfile
+from ..video.trace import FrameTrace
 from .batching import FrameSource, NetworkModel
 from .energy import build_breakdown
 from .race_to_sleep import RaceToSleepGovernor
@@ -147,8 +146,13 @@ def _resolve_source(source, cfg: SimulationConfig, n_frames: Optional[int],
     return source, count, key, cfg
 
 
+#: What :func:`simulate` accepts as content: a Table-1 profile, a
+#: captured trace, or any sized iterable of decoded frames.
+VideoSource = Union[VideoProfile, FrameTrace, Sequence[DecodedFrame]]
+
+
 def simulate(
-    source,
+    source: VideoSource,
     scheme: SchemeConfig,
     n_frames: Optional[int] = None,
     config: Optional[SimulationConfig] = None,

@@ -31,7 +31,7 @@ _DECODE_ESTIMATE_SAFETY = 1.6
 class GovernorPlan:
     """One wake decision."""
 
-    wake_time: float
+    wake_time: float  # s, absolute simulation time of the wake
     reason: str  # 'deadline' | 'batch-ready' | 'immediate'
 
 

@@ -23,18 +23,18 @@ class FrameTimeline:
     paper presents per-frame transition overheads under batching.
     """
 
-    decode_time: np.ndarray
-    exec_energy: np.ndarray
-    idle_time: np.ndarray
-    s1_time: np.ndarray
-    s3_time: np.ndarray
-    transition_time: np.ndarray
-    idle_energy: np.ndarray
-    s1_energy: np.ndarray
-    s3_energy: np.ndarray
-    transition_energy: np.ndarray
-    finish: np.ndarray
-    deadline: np.ndarray
+    decode_time: np.ndarray  # s per frame
+    exec_energy: np.ndarray  # J per frame
+    idle_time: np.ndarray  # s per frame
+    s1_time: np.ndarray  # s per frame
+    s3_time: np.ndarray  # s per frame
+    transition_time: np.ndarray  # s per frame
+    idle_energy: np.ndarray  # J per frame
+    s1_energy: np.ndarray  # J per frame
+    s3_energy: np.ndarray  # J per frame
+    transition_energy: np.ndarray  # J per frame
+    finish: np.ndarray  # s, absolute decode-finish times
+    deadline: np.ndarray  # s, absolute display deadlines
     dropped: np.ndarray
 
     @classmethod

@@ -61,10 +61,10 @@ SessionEvent = Union[Play, Pause]
 class SessionResult:
     """Aggregated outcome of one viewing session."""
 
-    playback_energy: float = 0.0
-    pause_energy: float = 0.0
-    rebuffer_energy: float = 0.0
-    network_energy: float = 0.0  # modem energy (trace mode only)
+    playback_energy: float = 0.0  # J
+    pause_energy: float = 0.0  # J
+    rebuffer_energy: float = 0.0  # J
+    network_energy: float = 0.0  # J of modem energy (trace mode only)
     playback_seconds: float = 0.0
     pause_seconds: float = 0.0
     stall_seconds: float = 0.0

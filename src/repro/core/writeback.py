@@ -31,7 +31,7 @@ from ..video.frame import DecodedFrame
 from .coalesce import sequential_lines, uncoalesced_stream_lines
 from .gradient import to_gradient
 from .layout import FrameLayout, LayoutMode, RecordKind
-from .mach import FrozenMach, MachRing, MatchKind
+from .mach import FrozenMach, MachRing, MachStats, MatchKind
 
 _DUMP_ENTRY_BYTES = 8  # digest (4) + pointer (4)
 
@@ -117,7 +117,7 @@ class WritebackEngine:
         return self._process_mach(frame, slot_base)
 
     @property
-    def stats(self):
+    def stats(self) -> Optional[MachStats]:
         """Aggregate MACH statistics (None for raw schemes)."""
         return self.ring.stats if self.ring is not None else None
 

@@ -35,8 +35,8 @@ class SleepDecision:
     state: PowerState  # SHORT_SLACK, S1, or S3
     sleep_time: float  # seconds actually asleep
     idle_time: float  # seconds powered-on idle
-    transition_time: float  # wake latency paid inside the slack
-    transition_energy: float  # round-trip transition energy
+    transition_time: float  # s of wake latency paid inside the slack
+    transition_energy: float  # J per sleep/wake round trip
 
     @property
     def total_time(self) -> float:

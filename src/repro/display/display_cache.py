@@ -19,6 +19,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..cache import DirectMappedCache
+from ..cache.base import CacheStats
 from ..config import DisplayConfig
 
 
@@ -35,7 +36,7 @@ class DisplayCache:
         return self._cache.access(address // self.line_bytes).is_hit
 
     @property
-    def stats(self):
+    def stats(self) -> CacheStats:
         return self._cache.stats
 
 

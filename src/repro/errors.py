@@ -52,3 +52,8 @@ class FaultError(ReproError):
 class RunnerError(ReproError):
     """The experiment runner could not supervise a job (timeout,
     checkpoint mismatch, exhausted retries)."""
+
+
+class LintError(ReproError):
+    """The static-analysis pass was misconfigured or could not read
+    a target (unknown rule id, unparseable file, bad baseline)."""

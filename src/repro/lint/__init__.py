@@ -1,0 +1,60 @@
+"""repro.lint — AST-based invariant checker for the repro codebase.
+
+The simulator's headline guarantees are *conventions*: bit-identical
+seeded runs, canonical SI units everywhere, and a typed
+:mod:`repro.errors` hierarchy.  ``repro validate`` checks the results
+against the paper; this package checks the *code* against the
+conventions, so they cannot silently rot as the tree grows.
+
+Four rule families (see ``docs/LINTING.md`` for the full catalogue):
+
+* **determinism** (``D``) — no unseeded RNG construction, no wall-clock
+  reads, no global RNG state;
+* **units** (``U``) — no magic unit-conversion literals outside
+  :mod:`repro.units`; unit-suffixed dataclass fields must document
+  their canonical unit;
+* **error policy** (``E``) — no bare ``except``, no broad
+  ``except Exception`` without justification, ``raise`` sites use the
+  :mod:`repro.errors` hierarchy or validation builtins;
+* **API contract** (``A``) — public functions are fully annotated and
+  ``to_jsonable``/``from_jsonable`` checkpoint pairs stay complete.
+
+Violations are suppressed per line with a *justified* comment::
+
+    thing()  # repro-lint: disable=E002 isolation is the point
+
+or acknowledged wholesale in a checked-in baseline file; the tier-1
+suite lints the tree with an **empty** baseline, so new violations
+fail CI.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .engine import (
+    LintReport,
+    ModuleContext,
+    Violation,
+    default_lint_root,
+    lint_paths,
+    lint_source,
+)
+from .registry import Rule, all_rules, get_rule
+
+# Importing the rule modules registers every built-in rule.
+from . import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "default_lint_root",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "write_baseline",
+]

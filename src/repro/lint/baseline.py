@@ -1,0 +1,117 @@
+"""Baseline files: pre-existing findings acknowledged in bulk.
+
+A baseline entry fingerprints a finding by ``(path, rule, context)``
+— the stripped source text of the flagged line — plus a count, so it
+survives unrelated edits moving the line but stops matching the moment
+the offending code itself changes.  The tier-1 suite lints the tree
+with an *empty* baseline; a non-empty one is a deliberate, reviewable
+debt list for large refactors, not a dumping ground.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import LintError
+from .engine import Violation
+
+_BASELINE_VERSION = 1
+
+#: Counter key: (path, rule id, stripped source line).
+_Key = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """A multiset of acknowledged finding fingerprints."""
+
+    entries: Dict[_Key, int] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls()
+
+    @classmethod
+    def from_violations(cls, violations: Sequence[Violation]) -> "Baseline":
+        entries: Dict[_Key, int] = {}
+        for violation in violations:
+            key = violation.fingerprint()
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def filter(self, violations: Sequence[Violation]
+               ) -> Tuple[List[Violation], int]:
+        """Split ``violations`` into (new, absorbed-count).
+
+        Each baseline entry absorbs at most ``count`` matching
+        findings; anything beyond that is new and stays reported.
+        """
+        budget = dict(self.entries)
+        kept: List[Violation] = []
+        absorbed = 0
+        for violation in violations:
+            key = violation.fingerprint()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                absorbed += 1
+            else:
+                kept.append(violation)
+        return kept, absorbed
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "version": _BASELINE_VERSION,
+            "entries": [
+                {"path": path, "rule": rule_id, "context": context,
+                 "count": count}
+                for (path, rule_id, context), count in sorted(
+                    self.entries.items())
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "Baseline":
+        if data.get("version") != _BASELINE_VERSION:
+            raise LintError(
+                f"baseline has version {data.get('version')!r}, "
+                f"expected {_BASELINE_VERSION}")
+        entries: Dict[_Key, int] = {}
+        raw_entries = data.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise LintError("baseline 'entries' must be a list")
+        for entry in raw_entries:
+            try:
+                key = (entry["path"], entry["rule"], entry["context"])
+                count = int(entry.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise LintError(f"malformed baseline entry: {entry!r}"
+                                ) from exc
+            entries[key] = entries.get(key, 0) + count
+        return cls(entries=entries)
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return Baseline.empty()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise LintError(f"unreadable baseline {path!r}: {exc}") from exc
+    return Baseline.from_jsonable(data)
+
+
+def write_baseline(baseline: Baseline, path: str) -> None:
+    """Atomically persist ``baseline`` (tmp + rename, like checkpoints)."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(baseline.to_jsonable(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)

@@ -1,0 +1,383 @@
+"""Lint engine: file discovery, suppression comments, rule dispatch.
+
+The engine parses each file once (stdlib :mod:`ast` + :mod:`tokenize`,
+no third-party dependencies), hands the tree to every registered rule,
+then filters the raw findings through two escape hatches:
+
+* **inline suppressions** — ``# repro-lint: disable=D001 <reason>`` on
+  the flagged line (or ``disable-next-line=`` on the line above, or
+  ``disable-file=`` anywhere for module-wide scope).  A suppression
+  *must* carry a justification after the rule list; a bare one is
+  itself a violation (``S001``), which is how "every suppression is
+  justified" stays mechanically true.
+* **a baseline** (:mod:`repro.lint.baseline`) — pre-existing findings
+  acknowledged in bulk, fingerprinted by (path, rule, source text) so
+  they survive line drift but die with the offending code.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+from ..errors import LintError
+
+if TYPE_CHECKING:  # pragma: no cover — runtime import lives in lint_paths
+    from .baseline import Baseline
+from .registry import Rule, all_rules, get_rule, rule
+
+# The S-family is emitted by the engine itself while processing
+# suppression directives; registering the ids here keeps --list-rules,
+# --select, and the unknown-rule check honest about them.
+rule("S001", "unjustified-suppression", "suppression",
+     "every suppression comment carries a justification")(lambda ctx: ())
+rule("S002", "unknown-suppressed-rule", "suppression",
+     "suppression comments only name registered rules")(lambda ctx: ())
+
+#: Matches one suppression directive inside a comment.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable|disable-next-line|disable-file)"
+    r"\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+(?P<reason>\S.*))?$")
+
+#: File-scope suppressions apply to every line of the module.
+_FILE_SCOPE = 0
+
+
+def _as_int(value: object) -> int:
+    return value if isinstance(value, int) else 0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule fired at a source location."""
+
+    path: str  # posix path as reported (repo-relative when possible)
+    line: int  # 1-based
+    col: int  # 0-based
+    rule_id: str
+    message: str
+    context: str  # stripped source line, for baselines and humans
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used by the baseline."""
+        return (self.path, self.rule_id, self.context)
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule_id} {self.message}")
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule sees about one file."""
+
+    path: str  # as reported in violations
+    module: str  # dotted module name, e.g. "repro.core.mach"
+    tree: ast.Module
+    lines: List[str]  # raw source lines (no trailing newlines)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def statement_comment(self, node: ast.AST) -> str:
+        """Concatenated ``#`` comment text on the node's physical lines.
+
+        Naive (string-level) on purpose: rules use this to check for
+        unit-doc comments like ``# J per round trip``, where a false
+        positive inside a string literal is harmless.
+        """
+        start = getattr(node, "lineno", 0)
+        end = getattr(node, "end_lineno", start) or start
+        parts = []
+        for lineno in range(start, end + 1):
+            text = self.line_text(lineno)
+            if "#" in text:
+                parts.append(text.split("#", 1)[1])
+        return " ".join(parts)
+
+
+@dataclass
+class _Suppression:
+    """One parsed directive, tracked so misuse is itself reportable."""
+
+    line: int  # line the directive applies to (0 = whole file)
+    comment_line: int  # line the comment physically sits on
+    rule_ids: Tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    baselined: int = 0  # findings absorbed by the baseline
+    suppressed: int = 0  # findings absorbed by inline directives
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "baselined": self.baselined,
+            "suppressed": self.suppressed,
+            "counts": self.counts_by_rule(),
+            "violations": [
+                {"path": v.path, "line": v.line, "col": v.col,
+                 "rule": v.rule_id, "message": v.message,
+                 "context": v.context}
+                for v in self.violations
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "LintReport":
+        """Inverse of :meth:`to_jsonable` (summary fields only — the
+        CI artifact reader rebuilds reports from JSON)."""
+        report = cls(files_checked=_as_int(data.get("files_checked", 0)),
+                     baselined=_as_int(data.get("baselined", 0)),
+                     suppressed=_as_int(data.get("suppressed", 0)))
+        violations = data.get("violations", [])
+        if isinstance(violations, list):
+            for entry in violations:
+                report.violations.append(Violation(
+                    path=entry["path"], line=entry["line"],
+                    col=entry["col"], rule_id=entry["rule"],
+                    message=entry["message"],
+                    context=entry.get("context", "")))
+        return report
+
+    def render_text(self) -> str:
+        lines = [violation.render() for violation in self.violations]
+        counts = self.counts_by_rule()
+        summary = (f"{len(self.violations)} violation(s) across "
+                   f"{self.files_checked} file(s)"
+                   + (f"; {self.suppressed} suppressed inline"
+                      if self.suppressed else "")
+                   + (f"; {self.baselined} baselined"
+                      if self.baselined else ""))
+        if counts:
+            summary += "  [" + ", ".join(
+                f"{rule_id}: {n}" for rule_id, n in counts.items()) + "]"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
+
+
+def _parse_suppressions(source: str, path: str) -> List[_Suppression]:
+    """Extract every ``repro-lint:`` directive from real COMMENT tokens."""
+    directives: List[_Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            if "repro-lint" not in token.string:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                raise LintError(
+                    f"{path}:{token.start[0]}: malformed repro-lint "
+                    f"directive: {token.string.strip()!r}")
+            scope = match.group("scope")
+            comment_line = token.start[0]
+            if scope == "disable":
+                target = comment_line
+            elif scope == "disable-next-line":
+                target = comment_line + 1
+            else:  # disable-file
+                target = _FILE_SCOPE
+            rule_ids = tuple(part.strip().upper()
+                             for part in match.group("rules").split(",")
+                             if part.strip())
+            directives.append(_Suppression(
+                line=target, comment_line=comment_line,
+                rule_ids=rule_ids, reason=match.group("reason") or ""))
+    except tokenize.TokenError as exc:
+        raise LintError(f"{path}: could not tokenize: {exc}") from exc
+    return directives
+
+
+def _module_name_for(path: str) -> str:
+    """Best-effort dotted module name from a file path."""
+    normalized = path.replace(os.sep, "/")
+    marker = "/repro/"
+    stem = normalized[:-3] if normalized.endswith(".py") else normalized
+    if stem.endswith("/__init__"):
+        stem = stem[: -len("/__init__")]
+    index = stem.rfind(marker)
+    if index >= 0:
+        return "repro." + stem[index + len(marker):].replace("/", ".")
+    if stem.endswith("/repro") or stem == "repro":
+        return "repro"
+    return stem.rsplit("/", 1)[-1]
+
+
+def lint_source(source: str, path: str = "<memory>",
+                module: Optional[str] = None,
+                select: Optional[Sequence[str]] = None) -> List[Violation]:
+    """Lint one in-memory module; the workhorse behind :func:`lint_paths`.
+
+    Returns the violations that survive inline suppressions (baseline
+    filtering is the caller's concern).  ``select`` restricts the run
+    to the given rule ids.
+    """
+    violations, _ = _lint_source(source, path=path, module=module,
+                                 select=select)
+    return violations
+
+
+def _lint_source(source: str, path: str, module: Optional[str] = None,
+                 select: Optional[Sequence[str]] = None
+                 ) -> Tuple[List[Violation], int]:
+    """As :func:`lint_source`, plus the count of inline-suppressed hits."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+    ctx = ModuleContext(path=path,
+                        module=module or _module_name_for(path),
+                        tree=tree,
+                        lines=source.splitlines())
+    rules: List[Rule] = ([get_rule(rule_id) for rule_id in select]
+                         if select is not None else all_rules())
+
+    raw: List[Violation] = []
+    for lint_rule in rules:
+        for line, col, message in lint_rule.run(ctx):
+            raw.append(Violation(path=path, line=line, col=col,
+                                 rule_id=lint_rule.id, message=message,
+                                 context=ctx.line_text(line)))
+
+    directives = _parse_suppressions(source, path)
+    kept = _apply_suppressions(raw, directives, ctx)
+    suppressed = len(raw) - sum(1 for v in kept if v.rule_id not in
+                                ("S001", "S002"))
+    return kept, suppressed
+
+
+def _apply_suppressions(raw: List[Violation],
+                        directives: List[_Suppression],
+                        ctx: ModuleContext) -> List[Violation]:
+    by_line: Dict[int, Set[str]] = {}
+    for directive in directives:
+        by_line.setdefault(directive.line, set()).update(directive.rule_ids)
+    file_wide = by_line.get(_FILE_SCOPE, set())
+
+    kept: List[Violation] = []
+    for violation in raw:
+        applicable = by_line.get(violation.line, set()) | file_wide
+        if violation.rule_id not in applicable:
+            kept.append(violation)
+
+    # The directives themselves are checked: every suppression must
+    # name known rules (S002) and carry a justification (S001).
+    known = {lint_rule.id for lint_rule in all_rules()}
+    for directive in directives:
+        for rule_id in directive.rule_ids:
+            if rule_id not in known:
+                kept.append(Violation(
+                    path=ctx.path, line=directive.comment_line, col=0,
+                    rule_id="S002",
+                    message=f"suppression names unknown rule {rule_id!r}",
+                    context=ctx.line_text(directive.comment_line)))
+        if not directive.reason.strip():
+            kept.append(Violation(
+                path=ctx.path, line=directive.comment_line, col=0,
+                rule_id="S001",
+                message="suppression without justification — say *why* "
+                        "the invariant does not apply here",
+                context=ctx.line_text(directive.comment_line)))
+    kept.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return kept
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames
+                               if d not in ("__pycache__", ".git")]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            raise LintError(f"no such lint target: {path!r}")
+
+
+def _display_path(path: str) -> str:
+    """Repo-relative posix path when possible (stable baselines)."""
+    absolute = os.path.abspath(path)
+    cwd = os.getcwd()
+    if absolute.startswith(cwd + os.sep):
+        absolute = absolute[len(cwd) + 1:]
+    return absolute.replace(os.sep, "/")
+
+
+def default_lint_root() -> str:
+    """The installed ``repro`` package directory — what ``repro lint``
+    checks when no paths are given."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def lint_paths(paths: Optional[Sequence[str]] = None,
+               baseline: Optional["Baseline"] = None,
+               select: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint files/directories and return a filtered :class:`LintReport`."""
+    from .baseline import Baseline  # local import: baseline imports us
+
+    targets = list(paths) if paths else [default_lint_root()]
+    report = LintReport()
+    all_violations: List[Violation] = []
+    for filename in _iter_python_files(targets):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise LintError(f"cannot read {filename!r}: {exc}") from exc
+        display = _display_path(filename)
+        kept_here, suppressed_here = _lint_source(source, path=display,
+                                                  select=select)
+        all_violations.extend(kept_here)
+        report.suppressed += suppressed_here
+        report.files_checked += 1
+
+    if baseline is None:
+        baseline = Baseline.empty()
+    kept, absorbed = baseline.filter(all_violations)
+    report.violations = kept
+    report.baselined = absorbed
+    return report

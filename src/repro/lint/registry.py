@@ -1,0 +1,70 @@
+"""Rule registry: every lint rule self-registers at import time.
+
+A rule is a plain function ``check(ctx) -> Iterable[(line, col, msg)]``
+wrapped with :func:`rule`; the registry keys it by its short id
+(``D001``, ``U002``, ...) so the engine, the CLI's ``--select``, the
+suppression comments, and the baseline all speak the same names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Tuple, TYPE_CHECKING
+
+from ..errors import LintError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard only
+    from .engine import ModuleContext
+
+#: What a rule's check function yields: (line, column, message).
+RawViolation = Tuple[int, int, str]
+CheckFunction = Callable[["ModuleContext"], Iterable[RawViolation]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check."""
+
+    id: str  # short id used in suppressions/baselines, e.g. "D001"
+    name: str  # kebab-case slug, e.g. "unseeded-rng"
+    family: str  # determinism | units | error-policy | api-contract
+    description: str  # one line: the invariant this rule guards
+    check: CheckFunction
+
+    def run(self, ctx: "ModuleContext") -> Iterable[RawViolation]:
+        return self.check(ctx)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, name: str, family: str,
+         description: str) -> Callable[[CheckFunction], CheckFunction]:
+    """Register ``check`` under ``rule_id`` (decorator)."""
+
+    def register(check: CheckFunction) -> CheckFunction:
+        if rule_id in _REGISTRY:
+            raise LintError(f"duplicate lint rule id: {rule_id}")
+        _REGISTRY[rule_id] = Rule(id=rule_id, name=name, family=family,
+                                  description=description, check=check)
+        return check
+
+    return register
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look a rule up by id; unknown ids are a caller error."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise LintError(f"unknown lint rule: {rule_id!r} "
+                        f"(known: {sorted(_REGISTRY)})") from None
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def known_ids() -> List[str]:
+    return sorted(_REGISTRY)

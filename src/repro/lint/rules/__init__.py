@@ -1,0 +1,7 @@
+"""Built-in rule families; importing this package registers them all."""
+
+from __future__ import annotations
+
+from . import api, determinism, errorpolicy, units  # noqa: F401
+
+__all__ = ["api", "determinism", "errorpolicy", "units"]

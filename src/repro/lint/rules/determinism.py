@@ -1,0 +1,102 @@
+"""Determinism rules (``D``): seeded runs must stay bit-identical.
+
+The runner's checkpoint/resume guarantee, the splitmix64 fault
+schedules, and `repro validate`'s tolerance bands all assume that the
+same seed produces the same bits on every run.  Three things break
+that silently: constructing an RNG without a seed, reading the wall
+clock, and mutating interpreter-global RNG state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from ..asthelpers import call_keywords, imported_names, walk_calls
+from ..engine import ModuleContext
+from ..registry import RawViolation, rule
+
+#: RNG constructors that take their seed as first arg or ``seed=``.
+_RNG_CONSTRUCTORS = {
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "random.Random",
+}
+
+#: Wall-clock reads — nondeterministic across runs by definition.
+_WALL_CLOCK = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "date.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: ``np.random.*`` members that are fine: explicit-generator types.
+_NP_RANDOM_OK = {
+    "default_rng", "Generator", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+}
+
+
+def _qualify(name: str, origins: Dict[str, str]) -> str:
+    """Resolve the first path component through the import table, so
+    ``from numpy.random import default_rng`` still reads as
+    ``numpy.random.default_rng``."""
+    head, _, rest = name.partition(".")
+    origin = origins.get(head)
+    if origin is None:
+        return name
+    return origin + ("." + rest if rest else "")
+
+
+@rule("D001", "unseeded-rng", "determinism",
+      "RNG constructors must be explicitly seeded")
+def unseeded_rng(ctx: ModuleContext) -> Iterator[RawViolation]:
+    origins = imported_names(ctx.tree)
+    for call, name in walk_calls(ctx.tree):
+        qualified = _qualify(name, origins)
+        if qualified not in _RNG_CONSTRUCTORS:
+            continue
+        if not call.args and "seed" not in call_keywords(call):
+            yield (call.lineno, call.col_offset,
+                   f"{name}() without a seed — seeded runs must be "
+                   f"bit-identical; pass an explicit seed")
+
+
+@rule("D002", "wall-clock", "determinism",
+      "no wall-clock reads inside the simulator")
+def wall_clock(ctx: ModuleContext) -> Iterator[RawViolation]:
+    origins = imported_names(ctx.tree)
+    for call, name in walk_calls(ctx.tree):
+        qualified = _qualify(name, origins)
+        if qualified in _WALL_CLOCK or name in _WALL_CLOCK:
+            yield (call.lineno, call.col_offset,
+                   f"{name}() reads the wall clock — simulated time "
+                   f"must come from the model, not the host")
+
+
+@rule("D003", "global-rng-state", "determinism",
+      "no module-global RNG state (np.random.seed, random.seed, ...)")
+def global_rng_state(ctx: ModuleContext) -> Iterator[RawViolation]:
+    origins = imported_names(ctx.tree)
+    for call, name in walk_calls(ctx.tree):
+        qualified = _qualify(name, origins)
+        for prefix in ("np.random.", "numpy.random."):
+            if qualified.startswith(prefix):
+                member = qualified[len(prefix):]
+                if "." not in member and member not in _NP_RANDOM_OK:
+                    yield (call.lineno, call.col_offset,
+                           f"{name}() uses numpy's global RNG — use a "
+                           f"seeded np.random.default_rng(...) instance")
+                break
+        else:
+            if qualified.startswith("random.") \
+                    and qualified.count(".") == 1:
+                member = qualified.split(".", 1)[1]
+                if member.islower():  # module functions share global state
+                    yield (call.lineno, call.col_offset,
+                           f"{name}() uses the stdlib global RNG — use "
+                           f"a seeded generator instance")

@@ -1,0 +1,102 @@
+"""Error-policy rules (``E``): the typed repro.errors hierarchy.
+
+Callers are promised that catching :class:`repro.errors.ReproError`
+catches every deliberate simulator failure and *nothing else*.  That
+promise dies the day a module raises ``RuntimeError``, swallows
+``Exception``, or uses a bare ``except`` — so those are mechanical
+violations, not style preferences.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from typing import Iterator, Set
+
+from ... import errors as _errors
+from ..asthelpers import dotted_name
+from ..engine import ModuleContext
+from ..registry import RawViolation, rule
+
+
+def _repro_error_names() -> Set[str]:
+    """Every class in repro.errors (self-updating as the hierarchy
+    grows — the linter never lags the code)."""
+    return {name for name, obj in inspect.getmembers(_errors, inspect.isclass)
+            if issubclass(obj, _errors.ReproError)}
+
+
+#: Builtins acceptable at ``raise`` sites: input-validation and
+#: protocol errors that Python idiom expects (a Mapping raises
+#: KeyError, an abstract method raises NotImplementedError, ...).
+_ALLOWED_BUILTINS = {
+    "ValueError", "TypeError", "KeyError", "IndexError",
+    "AttributeError", "NotImplementedError", "StopIteration",
+    "ZeroDivisionError", "OverflowError", "AssertionError",
+}
+
+#: Exception types that are never acceptable to raise directly.
+_FORBIDDEN_HINTS = {
+    "Exception": "too broad — pick a repro.errors subclass",
+    "BaseException": "too broad — pick a repro.errors subclass",
+    "RuntimeError": "untyped — add or reuse a repro.errors subclass",
+    "OSError": "wrap I/O failures in a repro.errors subclass with context",
+    "IOError": "wrap I/O failures in a repro.errors subclass with context",
+    "SystemError": "untyped — pick a repro.errors subclass",
+}
+
+
+@rule("E001", "bare-except", "error-policy",
+      "no bare except: clauses (swallows KeyboardInterrupt and bugs)")
+def bare_except(ctx: ModuleContext) -> Iterator[RawViolation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield (node.lineno, node.col_offset,
+                   "bare 'except:' — name the exceptions this site can "
+                   "actually absorb")
+
+
+def _broad_names(node: ast.AST) -> Iterator[str]:
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        name = dotted_name(candidate)
+        if name is not None and name.split(".")[-1] in ("Exception",
+                                                        "BaseException"):
+            yield name
+
+
+@rule("E002", "broad-except", "error-policy",
+      "except Exception only in supervision layers, with justification")
+def broad_except(ctx: ModuleContext) -> Iterator[RawViolation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler) or node.type is None:
+            continue
+        for name in _broad_names(node.type):
+            yield (node.lineno, node.col_offset,
+                   f"'except {name}' swallows unrelated bugs — catch "
+                   f"ReproError (or justify the isolation boundary with "
+                   f"a suppression)")
+
+
+@rule("E003", "raise-outside-hierarchy", "error-policy",
+      "raise sites use repro.errors classes or validation builtins")
+def raise_outside_hierarchy(ctx: ModuleContext) -> Iterator[RawViolation]:
+    allowed = _repro_error_names() | _ALLOWED_BUILTINS
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        target = node.exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        name = dotted_name(target)
+        if name is None:
+            continue  # re-raise of a bound variable, dynamic type, ...
+        short = name.split(".")[-1]
+        if short in allowed:
+            continue
+        if short[:1].islower():
+            continue  # a bound exception variable, e.g. 'raise exc'
+        hint = _FORBIDDEN_HINTS.get(
+            short, "outside the repro.errors hierarchy — catching "
+                   "ReproError must cover every deliberate failure")
+        yield (node.lineno, node.col_offset, f"raise {short}: {hint}")

@@ -1,0 +1,135 @@
+"""Units rules (``U``): canonical SI units, named conversion factors.
+
+The simulator's canonical units (seconds, joules, watts, bytes, hertz
+— see :mod:`repro.units`) only stay canonical if conversions go
+through the named constants.  A bare ``* 1e-3`` is ambiguous — ms to
+s?  mJ to J?  mW to W? — and a config field called ``foo_energy``
+whose unit lives in the author's head is a latent factor-of-1000 bug.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..asthelpers import constant_number, is_dataclass
+from ..engine import ModuleContext
+from ..registry import RawViolation, rule
+
+#: Bare conversion factors that have a name in repro.units.
+_MAGIC_FACTORS = {
+    1e-9: "NS (or act/burst energies via a comment)",
+    1e-6: "US / UJ",
+    1e-3: "MS / MJ / MW",
+    1e3: "KHZ (or to_ms/to_mj for reports)",
+    1e6: "MHZ",
+    1e9: "GHZ",
+    1024.0: "KIB",
+    float(1024 ** 2): "MIB",  # repro-lint: disable=U001 the factor table itself
+    float(1024 ** 3): "GIB",  # repro-lint: disable=U001 the factor table itself
+}
+
+#: Modules whose whole point is defining these factors.
+_UNIT_MODULES = {"repro.units"}
+
+#: Dataclass-field suffixes that imply a physical quantity whose
+#: canonical unit must be stated (seconds/joules/watts).  Suffixes
+#: that *name* the canonical unit (``_seconds``, ``_bytes``, ``_hz``)
+#: are self-documenting and exempt.
+_QUANTITY_SUFFIXES = ("_energy", "_power", "_time", "_latency")
+_QUANTITY_NAMES = {"power", "energy", "latency"}
+
+#: A unit-documenting comment: mentions joules/watts/seconds/... either
+#: spelled out or as the bare symbol.
+_UNIT_COMMENT_RE = re.compile(
+    r"(\b[JWsB]\b|\bHz\b|joule|watt|second|hertz|byte|bytes/s|J/|W/|s/)")
+
+#: Names exported by repro.units; a default expression referencing one
+#: carries its unit in the code itself.
+_UNITS_NAMES = {
+    "NS", "US", "MS", "SECOND", "MW", "W", "UJ", "MJ", "J",
+    "KIB", "MIB", "GIB", "KHZ", "MHZ", "GHZ", "KBPS", "MBPS",
+    "ns", "us", "ms", "mw", "mj", "kib", "mib", "mhz", "mbps",
+}
+
+
+def _names_in(node: ast.AST) -> Iterator[str]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+
+
+@rule("U001", "magic-unit-literal", "units",
+      "unit conversions must use the named constants from repro.units")
+def magic_unit_literal(ctx: ModuleContext) -> Iterator[RawViolation]:
+    if ctx.module in _UNIT_MODULES:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.BinOp):
+            continue
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            for operand in (node.left, node.right):
+                value = constant_number(operand)
+                if value is not None and value in _MAGIC_FACTORS:
+                    yield (operand.lineno, operand.col_offset,
+                           f"magic unit factor {value:g} — use "
+                           f"{_MAGIC_FACTORS[value]} from repro.units")
+        elif isinstance(node.op, ast.Pow):
+            base = constant_number(node.left)
+            if base == 1024.0:
+                yield (node.lineno, node.col_offset,
+                       "1024 ** n — use KIB/MIB/GIB from repro.units")
+
+
+#: Annotations that denote a bare number (or array of them) — the only
+#: shapes where the unit is invisible without documentation.  A field
+#: typed as EnergyBreakdown carries its units in its own class.
+_NUMERIC_ANNOTATIONS = {"float", "int", "ndarray"}
+
+
+def _field_needs_unit(name: str, annotation: ast.AST) -> bool:
+    if not (_NUMERIC_ANNOTATIONS
+            & set(_names_in(annotation))):
+        return False
+    if name in _QUANTITY_NAMES:
+        return True
+    return any(name.endswith(suffix) for suffix in _QUANTITY_SUFFIXES)
+
+
+def _default_carries_unit(default: Optional[ast.AST]) -> bool:
+    if default is None:
+        return False
+    for name in _names_in(default):
+        if name in _UNITS_NAMES:
+            return True
+    return False
+
+
+@rule("U002", "undocumented-unit-field", "units",
+      "quantity-named dataclass fields must state their canonical unit")
+def undocumented_unit_field(ctx: ModuleContext) -> Iterator[RawViolation]:
+    if ctx.module in _UNIT_MODULES:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef) or not is_dataclass(node):
+            continue
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign):
+                continue
+            target = statement.target
+            if not isinstance(target, ast.Name):
+                continue
+            if not _field_needs_unit(target.id, statement.annotation):
+                continue
+            if _default_carries_unit(statement.value):
+                continue
+            comment = ctx.statement_comment(statement)
+            if comment and _UNIT_COMMENT_RE.search(comment):
+                continue
+            yield (statement.lineno, statement.col_offset,
+                   f"field {target.id!r} names a physical quantity but "
+                   f"neither its default nor a same-line comment states "
+                   f"the canonical unit (s / J / W)")

@@ -128,7 +128,7 @@ _POLICIES = {
 }
 
 
-def make_abr(name: str, **kwargs) -> AbrPolicy:
+def make_abr(name: str, **kwargs: object) -> AbrPolicy:
     """Instantiate an ABR policy by registry name."""
     try:
         factory = _POLICIES[name.lower()]

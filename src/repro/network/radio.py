@@ -27,10 +27,10 @@ from ..config import RadioConfig
 class RadioEnergy:
     """Energy and residency breakdown of one delivery run."""
 
-    active_energy: float
-    tail_energy: float
-    idle_energy: float
-    promotion_energy: float
+    active_energy: float  # J
+    tail_energy: float  # J
+    idle_energy: float  # J
+    promotion_energy: float  # J
     active_seconds: float
     tail_seconds: float
     idle_seconds: float

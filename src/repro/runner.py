@@ -143,7 +143,7 @@ def _run_round_inline(jobs) -> Tuple[Dict[MatrixKey, RunResult],
         try:
             key, result = _run_one(job)
             done[key] = result
-        except Exception as exc:  # noqa: BLE001 — isolation is the point
+        except Exception as exc:  # repro-lint: disable=E002 isolation is the runner's contract: one crashing job must not kill the matrix
             failed.append((job, f"{type(exc).__name__}: {exc}"))
     return done, failed
 
@@ -175,7 +175,7 @@ def _run_round_pool(jobs, processes: int, job_timeout: Optional[float]
                 future.cancel()
                 failed.append(
                     (job, f"TimeoutError: exceeded {job_timeout}s"))
-            except Exception as exc:  # noqa: BLE001 — isolation is the point
+            except Exception as exc:  # repro-lint: disable=E002 isolation is the runner's contract: one crashing job must not kill the matrix
                 failed.append((job, f"{type(exc).__name__}: {exc}"))
     return done, failed
 

@@ -16,7 +16,7 @@ from repro.analysis import (
     stacked_time_cdf,
 )
 from repro.analysis.report import comparison_report
-from repro.config import BASELINE, GAB, PowerStateConfig, VideoConfig
+from repro.config import BASELINE, GAB, PowerStateConfig
 from repro.core.results import compare_schemes
 from repro.video import SyntheticVideo, VideoProfile
 

@@ -6,13 +6,10 @@ import pytest
 
 from repro.config import (
     BASELINE,
-    BATCHING,
     FIG11_SCHEMES,
     GAB,
     GAB_DCC,
     MAB,
-    RACE_TO_SLEEP,
-    RACING,
     DecoderConfig,
     DramConfig,
     MachConfig,

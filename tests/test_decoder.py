@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import DecoderConfig, PowerStateConfig, VideoConfig
+from repro.config import DecoderConfig, PowerStateConfig
 from repro.decoder import (
     PowerState,
     PowerTracker,

@@ -8,7 +8,6 @@ import pytest
 from repro.config import (
     DecoderConfig,
     SimulationConfig,
-    VideoConfig,
 )
 from repro.core.pipelines import (
     ProducerConsumerPipeline,

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.config import MachConfig, VideoConfig
+from repro.errors import SchedulingError
 from repro.core.mach import (
     FrameMach,
     MachRing,
@@ -143,12 +143,12 @@ class TestMachRing:
     def test_begin_twice_raises(self):
         ring = MachRing(small_mach())
         ring.begin_frame(0)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(SchedulingError):
             ring.begin_frame(1)
 
     def test_lookup_without_frame_raises(self):
         ring = MachRing(small_mach())
-        with pytest.raises(RuntimeError):
+        with pytest.raises(SchedulingError):
             ring.lookup(1)
 
 

@@ -25,7 +25,6 @@ from repro.network import (
     RadioModel,
     RateBasedAbr,
     constant_trace,
-    deliver_for_config,
     load_trace,
     lte_trace,
     make_abr,

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.config import GAB, MAB, BASELINE, DCC_ONLY, MachConfig, VideoConfig
 from repro.core.layout import LayoutMode, RecordKind
