@@ -1,0 +1,164 @@
+"""Thermal-throttle studies: what graceful degradation buys and costs.
+
+The thermal layer (``repro.thermal``) revokes the Race-to-Sleep boost
+frequency for injected windows and can delay sleep-exit transitions;
+the adaptive governor (``repro.core.race_to_sleep``) answers with its
+degradation ladder.  These benches sweep the cap-drop duty — the
+fraction of each throttle slot with boost revoked — and price the
+response:
+
+* **duty sweep, both governors** — the adaptive ladder must keep
+  drops strictly below the fixed-batch governor's (zero, for this
+  workload) at every severity, within 5 % of its energy;
+* **monotone severity** — energy, throttled seconds, and summed
+  ladder steps must all grow with the duty: a longer revocation can
+  only cost more;
+* **ladder accounting** — frames decoded at nominal frequency and
+  degradation steps appear exactly when boost is revoked, never on a
+  quiet run.
+
+Run under pytest (``pytest benchmarks/bench_thermal_throttle.py``) for
+the full tables, or standalone for CI::
+
+    python benchmarks/bench_thermal_throttle.py --smoke
+
+which writes the headline numbers to ``BENCH_thermal_throttle.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.config import RACE_TO_SLEEP, SimulationConfig, ThermalConfig
+from repro.core.pipeline import simulate
+from repro.video import workload
+
+try:  # pytest package-relative; absolute when run as a script
+    from .conftest import BENCH_FRAMES, BENCH_SEED
+except ImportError:  # pragma: no cover - script mode
+    BENCH_FRAMES, BENCH_SEED = 96, 7
+
+#: Cap-drop duty fractions swept (0 = wake-delay injection only).
+_DUTIES = (0.0, 0.25, 0.55, 0.85, 1.0)
+_VIDEO = "V5"
+
+
+def _pressed_config(duty: float, adaptive: bool) -> SimulationConfig:
+    # Short pre-roll (just above the 27-frame delivery chunk) keeps
+    # batch formation deadline-bound, so a revoked boost actually
+    # threatens deadlines instead of hiding in buffered slack.
+    base = SimulationConfig()
+    return replace(
+        base,
+        network=replace(base.network, preroll_frames=30),
+        thermal=ThermalConfig(
+            enabled=True, adaptive=adaptive, seed=BENCH_SEED,
+            event_interval=1.0, cap_drop_rate=1.0, cap_drop_duty=duty,
+            delayed_transition_rate=0.5))
+
+
+def _run(duty: float, adaptive: bool, frames: int):
+    return simulate(workload(_VIDEO), RACE_TO_SLEEP, n_frames=frames,
+                    seed=BENCH_SEED,
+                    config=_pressed_config(duty, adaptive))
+
+
+def _duty_sweep(frames: int):
+    rows = []
+    for duty in _DUTIES:
+        for label, adaptive in (("adaptive", True), ("fixed", False)):
+            run = _run(duty, adaptive, frames)
+            rows.append([duty, label, run.drops,
+                         run.throttle_seconds, run.degradation_steps,
+                         run.frames_at_nominal,
+                         run.deep_sleep_residency, run.energy.total])
+    return rows
+
+
+def test_ladder_beats_fixed_governor(benchmark, emit):
+    """Adaptive drops stay below fixed at every severity, within 5%."""
+    rows = benchmark.pedantic(_duty_sweep, rounds=1, iterations=1,
+                              args=(BENCH_FRAMES,))
+    emit(format_table(
+        ["duty", "governor", "drops", "throttle s", "deg steps",
+         "@nominal", "S3", "energy J"],
+        rows, title=f"Cap-drop duty sweep ({_VIDEO}/Race-to-Sleep, "
+                    "pre-roll 30): the degradation ladder vs the "
+                    "fixed-batch governor"))
+    by_gov = {"adaptive": [r for r in rows if r[1] == "adaptive"],
+              "fixed": [r for r in rows if r[1] == "fixed"]}
+    for a_row, f_row in zip(by_gov["adaptive"], by_gov["fixed"]):
+        assert a_row[2] == 0, "the ladder must keep the zero-drop promise"
+        assert a_row[2] <= f_row[2]
+        assert abs(a_row[7] - f_row[7]) / f_row[7] < 0.05, (
+            "graceful degradation must not cost >5% energy")
+    worst_fixed = by_gov["fixed"][-1]
+    assert worst_fixed[2] > 0, (
+        "a fully revoked boost must cost the fixed governor drops")
+
+
+def test_severity_prices_monotonically(benchmark, emit):
+    """Energy, throttle time, and ladder depth grow with the duty."""
+    rows = benchmark.pedantic(_duty_sweep, rounds=1, iterations=1,
+                              args=(BENCH_FRAMES,))
+    adaptive = [r for r in rows if r[1] == "adaptive"]
+    emit(format_table(
+        ["duty", "throttle s", "deg steps", "@nominal", "energy J"],
+        [[r[0], r[3], r[4], r[5], r[7]] for r in adaptive],
+        title="Severity must price monotonically (adaptive governor)"))
+    throttles = [r[3] for r in adaptive]
+    steps = [r[4] for r in adaptive]
+    energies = [r[7] for r in adaptive]
+    assert throttles == sorted(throttles)
+    assert steps == sorted(steps)
+    assert energies == sorted(energies)
+    assert throttles[0] == 0 and throttles[-1] > 0
+    assert adaptive[0][5] == 0, "duty 0 must decode no frame at nominal"
+    assert adaptive[-1][5] > 0
+
+
+def _smoke(path: str = "BENCH_thermal_throttle.json") -> dict:
+    """CI smoke: tiny sweep, headline JSON artifact."""
+    frames = min(BENCH_FRAMES, 96)
+    rows = _duty_sweep(frames)
+    payload = {
+        "frames": frames,
+        "video": _VIDEO,
+        "duty_sweep": [
+            {"duty": r[0], "governor": r[1], "drops": r[2],
+             "throttle_seconds": r[3], "degradation_steps": r[4],
+             "frames_at_nominal": r[5], "s3_residency": r[6],
+             "energy_j": r[7]} for r in rows],
+    }
+    adaptive = [r for r in rows if r[1] == "adaptive"]
+    fixed = [r for r in rows if r[1] == "fixed"]
+    assert all(r[2] == 0 for r in adaptive)
+    assert fixed[-1][2] > adaptive[-1][2]
+    assert all(abs(a[7] - f[7]) / f[7] < 0.05
+               for a, f in zip(adaptive, fixed))
+    energies = [r[7] for r in adaptive]
+    assert energies == sorted(energies)
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return payload
+
+
+if __name__ == "__main__":  # pragma: no cover - CI smoke entry
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick sweep, write "
+                             "BENCH_thermal_throttle.json")
+    parser.add_argument("--out", default="BENCH_thermal_throttle.json")
+    args = parser.parse_args()
+    result = _smoke(args.out)
+    sweep = result["duty_sweep"]
+    worst = [r for r in sweep if r["governor"] == "fixed"][-1]
+    best = [r for r in sweep if r["governor"] == "adaptive"][-1]
+    print(f"wrote {args.out}: {len(sweep)} sweep rows; at duty "
+          f"{worst['duty']:g} fixed drops {worst['drops']}, "
+          f"adaptive {best['drops']}")

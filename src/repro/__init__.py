@@ -36,6 +36,7 @@ from .config import (
     MachConfig,
     SchemeConfig,
     SimulationConfig,
+    ThermalConfig,
     VideoConfig,
 )
 from .video import PAPER_WORKLOADS, SyntheticVideo, VideoProfile, workload
@@ -62,6 +63,10 @@ _CORE_EXPORTS = {
     "normalized_matrix": ("runner", "normalized_matrix"),
     "MatrixResult": ("runner", "MatrixResult"),
     "FaultPlan": ("faults", "FaultPlan"),
+    "ThermalModel": ("thermal", "ThermalModel"),
+    "ThermalPlan": ("thermal", "ThermalPlan"),
+    "ThermalSnapshot": ("thermal", "ThermalSnapshot"),
+    "AdaptiveRtSGovernor": ("core.race_to_sleep", "AdaptiveRtSGovernor"),
     "validate_against_paper": ("validation", "validate_against_paper"),
 }
 
@@ -88,12 +93,17 @@ __all__ = [
     "MAB",
     "RACE_TO_SLEEP",
     "RACING",
+    "AdaptiveRtSGovernor",
     "FaultConfig",
     "FaultPlan",
     "MatrixResult",
     "MachConfig",
     "SchemeConfig",
     "SimulationConfig",
+    "ThermalConfig",
+    "ThermalModel",
+    "ThermalPlan",
+    "ThermalSnapshot",
     "VideoConfig",
     "simulate",
     "RunResult",

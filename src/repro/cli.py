@@ -10,7 +10,9 @@ Subcommands:
   saved trace (from any source) through a scheme;
 * ``network`` — trace-driven delivery: stalls, ABR switches, and the
   radio's burst-vs-steady energy for a workload over a bandwidth
-  trace.
+  trace;
+* ``thermal`` — thermal-pressure drill: injected boost revocations,
+  adaptive-ladder vs fixed-batch Race-to-Sleep governor.
 """
 
 from __future__ import annotations
@@ -243,6 +245,58 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_thermal(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from .config import ThermalConfig
+    from .core.race_to_sleep import LADDER_STEPS
+    from .units import MS
+
+    scheme = _SCHEMES[args.scheme.lower()]
+    duties = [float(d) for d in args.duties.split(",") if d.strip()]
+    rows = []
+    pairs = {}
+    for duty in duties:
+        for label, adaptive in (("adaptive", True), ("fixed", False)):
+            thermal = ThermalConfig(
+                enabled=True, adaptive=adaptive, seed=args.thermal_seed,
+                event_interval=args.interval, cap_drop_rate=args.rate,
+                cap_drop_duty=duty,
+                delayed_transition_rate=args.delay_rate,
+                transition_delay=args.delay_ms * MS)
+            cfg = dc_replace(SimulationConfig(), thermal=thermal)
+            cfg = dc_replace(cfg, network=dc_replace(
+                cfg.network, preroll_frames=args.preroll))
+            result = simulate(workload(args.video), scheme,
+                              n_frames=args.frames, seed=args.seed,
+                              config=cfg)
+            pairs[(duty, label)] = result
+            throttled = (result.throttle_seconds / result.elapsed
+                         if result.elapsed else 0.0)
+            rows.append([f"{duty:g}", label, result.drops, throttled,
+                         result.degradation_steps,
+                         result.frames_at_nominal,
+                         result.deep_sleep_residency,
+                         result.energy.total])
+    print(format_table(
+        ["duty", "governor", "drops", "throttled", "deg steps",
+         "@nominal", "S3", "energy J"],
+        rows,
+        title=f"{args.video} under {scheme.name} with injected thermal "
+              f"caps (rate={args.rate:g}, interval={args.interval:g} s, "
+              f"wake-delay rate={args.delay_rate:g}, "
+              f"{args.frames} frames)"))
+    worst = max(duties)
+    adaptive_run = pairs[(worst, "adaptive")]
+    fixed_run = pairs[(worst, "fixed")]
+    delta = ((adaptive_run.energy.total - fixed_run.energy.total)
+             / fixed_run.energy.total)
+    print(f"\ndegradation ladder: {' -> '.join(LADDER_STEPS)}")
+    print(f"at duty {worst:g}: adaptive drops {adaptive_run.drops} vs "
+          f"fixed {fixed_run.drops}, energy {delta:+.1%}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import (
         Baseline,
@@ -388,6 +442,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seed of the fault plan (content seed is "
                              "--seed)")
     faults.set_defaults(func=_cmd_faults)
+
+    thermal = sub.add_parser(
+        "thermal", help="thermal-pressure drill: injected boost "
+                        "revocations, adaptive vs fixed RtS governor")
+    thermal.add_argument("--video", default="V5")
+    thermal.add_argument("--frames", type=int, default=96)
+    thermal.add_argument("--scheme", default="race-to-sleep",
+                         choices=sorted(_SCHEMES))
+    thermal.add_argument("--duties", default="0.25,0.55,0.85",
+                         help="comma list of cap-drop duty fractions")
+    thermal.add_argument("--rate", type=float, default=1.0,
+                         help="per-slot cap-drop probability")
+    thermal.add_argument("--interval", type=float, default=1.0,
+                         help="throttle-event slot length, s")
+    thermal.add_argument("--delay-rate", type=float, default=0.5,
+                         help="per-slot delayed-wake probability")
+    thermal.add_argument("--delay-ms", type=float, default=8.0,
+                         help="injected extra wake latency, ms")
+    thermal.add_argument("--preroll", type=int, default=30,
+                         help="startup pre-roll frames (small values "
+                              "make batch formation deadline-bound)")
+    thermal.add_argument("--seed", type=int, default=7)
+    thermal.add_argument("--thermal-seed", type=int, default=7,
+                         help="seed of the injected throttle plan "
+                              "(content seed is --seed)")
+    thermal.set_defaults(func=_cmd_thermal)
 
     lint = sub.add_parser(
         "lint", help="static invariant checks: determinism, units, "

@@ -537,6 +537,86 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class ThermalConfig:
+    """Thermal / power-budget pressure on the VD boost clock.
+
+    Default-disabled and fully inert: with ``enabled=False`` every code
+    path that consults it reproduces the thermal-free behaviour
+    bit-for-bit.  When enabled, a lumped-RC junction-temperature model
+    (:class:`repro.thermal.ThermalModel`) is driven by the per-phase
+    power the pipeline already tracks, and the boost frequency is
+    revoked while the junction is hot or the sustained-power EMA sits
+    above ``sustained_power_cap`` — plus ``FaultPlan``-style injected
+    throttle events seeded by ``seed``.
+
+    Injection knobs (all rates default to zero):
+
+    * ``cap_drop_rate`` / ``cap_drop_duty`` — per ``event_interval``
+      slot, probability that the platform revokes boost for
+      ``cap_drop_duty`` of the slot.  Windows nest: a higher duty
+      strictly contains the lower-duty window for the same (seed,
+      slot), so throttle pressure is structurally monotone in duty.
+    * ``stuck_dvfs_rate`` — probability a slot pins DVFS at nominal
+      even after the governor requests boost (firmware stuck-at).
+    * ``delayed_transition_rate`` / ``transition_delay`` — probability
+      a sleep wake-up in the slot pays ``transition_delay`` extra
+      before the decoder can run (slow frequency ramp).
+
+    The governor response lives in
+    :class:`repro.core.race_to_sleep.AdaptiveRtSGovernor`; set
+    ``adaptive=False`` to keep the fixed-plan governor under the same
+    injected pressure (the degradation baseline).
+    """
+
+    enabled: bool = False
+    adaptive: bool = True
+
+    # -- lumped-RC junction model --------------------------------------
+    ambient_c: float = 30.0  # deg C ambient / skin-coupled sink
+    thermal_resistance: float = 18.0  # K/W junction -> ambient
+    thermal_capacitance: float = 0.9  # J/K lumped thermal mass
+    throttle_temp_c: float = 70.0  # deg C: revoke boost at/above this
+    release_temp_c: float = 65.0  # deg C: restore boost at/below this
+
+    # -- sustained-power cap -------------------------------------------
+    sustained_power_cap: float = 0.0  # W over cap_window EMA; 0 = off
+    cap_window: float = 4.0  # s EMA time constant
+
+    # -- injected throttle events --------------------------------------
+    seed: int = 0
+    event_interval: float = 2.0  # s per injection decision slot
+    cap_drop_rate: float = 0.0
+    cap_drop_duty: float = 0.5
+    stuck_dvfs_rate: float = 0.0
+    delayed_transition_rate: float = 0.0
+    transition_delay: float = 8.0 * MS  # s extra latency per affected wake
+
+    def __post_init__(self) -> None:
+        _require(self.thermal_resistance > 0 and self.thermal_capacitance > 0,
+                 "thermal RC constants must be positive")
+        _require(self.release_temp_c <= self.throttle_temp_c,
+                 "hysteresis release must not exceed the throttle trip")
+        _require(self.ambient_c < self.throttle_temp_c,
+                 "ambient must sit below the throttle trip")
+        _require(self.sustained_power_cap >= 0,
+                 "sustained power cap cannot be negative")
+        _require(self.cap_window > 0, "cap window must be positive")
+        _require(self.event_interval > 0, "event interval must be positive")
+        for name in ("cap_drop_rate", "cap_drop_duty", "stuck_dvfs_rate",
+                     "delayed_transition_rate"):
+            value = getattr(self, name)
+            _require(0.0 <= value <= 1.0, f"{name} must be in [0, 1]")
+        _require(self.transition_delay >= 0,
+                 "transition delay cannot be negative")
+
+    @property
+    def injects(self) -> bool:
+        """Any non-zero injected-event rate."""
+        return (self.cap_drop_rate > 0 or self.stuck_dvfs_rate > 0
+                or self.delayed_transition_rate > 0)
+
+
+@dataclass(frozen=True)
 class SchemeConfig:
     """One of the paper's evaluated schemes (Fig. 11 legend).
 
@@ -599,6 +679,7 @@ class SimulationConfig:
     mach: MachConfig = field(default_factory=MachConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    thermal: ThermalConfig = field(default_factory=ThermalConfig)
     calibration: PaperCalibration = field(default_factory=PaperCalibration)
     seed: int = 0
 

@@ -31,6 +31,19 @@ class FrameSource(Protocol):
     def time_when_available(self, count: int) -> float: ...
 
 
+def batch_ready_time(source: FrameSource, next_frame: int, batch: int,
+                     buffers_free_time: float) -> float:
+    """When a ``batch``-frame decode starting at ``next_frame`` can run.
+
+    The batch needs its frames buffered by the network *and* enough
+    frame-buffer slots drained; both governors (fixed and adaptive)
+    plan against this time, the adaptive one re-evaluating it per
+    candidate batch depth while walking the degradation ladder.
+    """
+    return max(source.time_when_available(next_frame + batch),
+               buffers_free_time)
+
+
 @dataclass(frozen=True)
 class NetworkModel:
     """Deterministic chunked frame-arrival process."""

@@ -20,7 +20,7 @@ per-access timestamps so DRAM row interleaving is faithful.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,11 +28,17 @@ from ..config import (
     SchemeConfig,
     SimulationConfig,
 )
-from ..decoder.power import PowerState, PowerTracker, plan_slack
+from ..decoder.power import (
+    PowerState,
+    PowerTracker,
+    SleepDecision,
+    plan_slack,
+)
 from ..decoder.vd import VideoDecoder
 from ..display.controller import DisplayController
 from ..faults import FaultPlan, conceal_blocks
 from ..display.framebuffer import FrameBufferPool
+from ..thermal import ThermalModel
 from ..memory.address import RegionMap
 from ..memory.controller import MemoryController
 from ..memory.energy import memory_energy
@@ -41,7 +47,7 @@ from ..video.synthesis import SyntheticVideo, VideoProfile
 from ..video.trace import FrameTrace
 from .batching import FrameSource, NetworkModel
 from .energy import build_breakdown
-from .race_to_sleep import RaceToSleepGovernor
+from .race_to_sleep import AdaptiveRtSGovernor, RaceToSleepGovernor
 from .readpath import DisplayReadEngine
 from .results import FrameTimeline, RunResult
 from .writeback import (
@@ -115,8 +121,10 @@ class _TrafficLog:
         return times, addresses, writes, masks
 
 
-def _resolve_source(source, cfg: SimulationConfig, n_frames: Optional[int],
-                    seed: int):
+def _resolve_source(
+    source: VideoSource, cfg: SimulationConfig, n_frames: Optional[int],
+    seed: int,
+) -> Tuple[Iterable[DecodedFrame], int, str, SimulationConfig]:
     """Turn the ``source`` argument into (stream, count, key, config).
 
     Accepts a :class:`VideoProfile` (the synthetic generator path), a
@@ -227,8 +235,21 @@ def simulate(
     # --- components -----------------------------------------------------------
     network = (network_model if network_model is not None
                else NetworkModel(cfg.network, video_cfg.fps, count))
-    governor = RaceToSleepGovernor(scheme, cfg.decoder, network,
-                                   video_cfg.frame_interval, DISPLAY_LEAD)
+    # Thermal pressure (inert by default): junction temperature, the
+    # sustained-power cap, and injected throttle events can revoke the
+    # boost frequency mid-session; the adaptive governor degrades
+    # gracefully, the fixed one discovers the revocation at decode.
+    thermal = ThermalModel(cfg.thermal) if cfg.thermal.enabled else None
+    adaptive: Optional[AdaptiveRtSGovernor] = None
+    if (thermal is not None and cfg.thermal.adaptive and scheme.racing
+            and scheme.batch_size > 1):
+        adaptive = AdaptiveRtSGovernor(scheme, cfg.decoder, network,
+                                       video_cfg.frame_interval,
+                                       DISPLAY_LEAD, thermal)
+    governor: RaceToSleepGovernor = (
+        adaptive if adaptive is not None
+        else RaceToSleepGovernor(scheme, cfg.decoder, network,
+                                 video_cfg.frame_interval, DISPLAY_LEAD))
     pool = FrameBufferPool(fb_region.base, slot_bytes, slots,
                            retention=retention, phase_span=row_span)
     vd = VideoDecoder(cfg.decoder, video_cfg, cfg.dram.line_bytes)
@@ -249,8 +270,39 @@ def simulate(
         buffer_policy=buffer_policy,
     )
     tracker = PowerTracker(cfg.decoder.power_states)
-    transition_scale = (cfg.decoder.power_states.racing_transition_factor
+    psc = cfg.decoder.power_states
+    transition_scale = (psc.racing_transition_factor
                         if scheme.racing else 1.0)
+
+    def slack_scale(at: float) -> float:
+        """Transition-energy scale for a sleep entered around ``at``.
+
+        Racing pays the inflated transition cost only while boost is
+        actually granted; without a thermal model this is the static
+        per-scheme factor (bit-identical to the pre-thermal path)."""
+        if thermal is None:
+            return transition_scale
+        if scheme.racing and thermal.boost_available(at):
+            return psc.racing_transition_factor
+        return 1.0
+
+    def advance_thermal_slack(decision: SleepDecision, upto: float) -> None:
+        """Drive the thermal model over a slack decision's power mix."""
+        if thermal is None:
+            return
+        total = decision.total_time
+        if total <= 0:
+            return
+        if decision.state is PowerState.S1:
+            sleep_power = psc.s1_power
+        elif decision.state is PowerState.S3:
+            sleep_power = psc.s3_power
+        else:
+            sleep_power = 0.0
+        average = (decision.idle_time * psc.p_idle_power
+                   + decision.sleep_time * sleep_power
+                   + decision.transition_energy) / total
+        thermal.advance_to(upto, average)
     traffic = _TrafficLog()
     rng = np.random.default_rng(seed + 0x5EED)
     timeline = FrameTimeline.empty(count)
@@ -312,10 +364,13 @@ def simulate(
                                 rescan.addresses, is_write=False)
             state["display_cursor"] += 1
 
-    def batch_buffers_free_time(next_frame: int, now: float) -> float:
-        """When a full batch's worth of slots will be free."""
+    def batch_buffers_free_time(next_frame: int, now: float,
+                                batch_size: Optional[int] = None) -> float:
+        """When a ``batch_size`` batch's worth of slots will be free."""
+        if batch_size is None:
+            batch_size = scheme.batch_size
         free = pool.slots - pool.live_count
-        need = min(scheme.batch_size, count - next_frame) - free
+        need = min(batch_size, count - next_frame) - free
         if need <= 0:
             return now
         live = pool.live_indices
@@ -334,30 +389,61 @@ def simulate(
     match_totals = [0, 0, 0]
     prev_blocks = None  # last decoded frame's content, for concealment
     concealed_total = 0
+    frames_at_nominal = 0  # racing frames forced to the low frequency
 
     while next_frame < count:
         advance_display(now)
-        plan = governor.plan_wake(
-            now, next_frame, batch_buffers_free_time(next_frame, now))
+        if thermal is not None:
+            # Catch up over stall jumps the tracker does not record.
+            thermal.advance_to(now, psc.p_idle_power)
+        if adaptive is not None:
+            def buffers_free_for(candidate: int) -> float:
+                return batch_buffers_free_time(next_frame, now, candidate)
+            plan = adaptive.plan_wake_adaptive(now, next_frame,
+                                               buffers_free_for)
+            batch_cap = plan.batch_cap
+            allow_s3 = plan.allow_s3
+        else:
+            plan = governor.plan_wake(
+                now, next_frame, batch_buffers_free_time(next_frame, now))
+            batch_cap = scheme.batch_size
+            allow_s3 = True
         if plan.wake_time > now + 1e-12:
             slack = plan.wake_time - now
             decision = plan_slack(slack, cfg.decoder.power_states,
-                                  transition_scale)
+                                  slack_scale(now), allow_s3=allow_s3)
             tracker.record_slack(decision)
             _attribute_slack(timeline, decision, next_frame, cfg,
                              batch=last_batch_size)
+            advance_thermal_slack(decision, plan.wake_time)
             now = plan.wake_time
             advance_display(now)
+            if thermal is not None and decision.transition_time > 0:
+                delay = thermal.wake_delay(now)
+                if delay > 0:
+                    # Injected slow frequency ramp out of sleep: the VD
+                    # sits powered-on idle before decode can start.
+                    # Both governors pay it; only the adaptive one
+                    # planned its wake early enough to absorb it.
+                    stall = SleepDecision(PowerState.SHORT_SLACK, 0.0,
+                                          delay, 0.0, 0.0)
+                    tracker.record_slack(stall)
+                    _attribute_slack(timeline, stall, next_frame, cfg,
+                                     batch=last_batch_size)
+                    thermal.advance_to(now + delay, psc.p_idle_power)
+                    now += delay
+                    advance_display(now)
 
         available = network.frames_available(now) - next_frame
         free = pool.slots - pool.live_count
-        batch = min(scheme.batch_size, available, free, count - next_frame)
+        batch = min(batch_cap, available, free, count - next_frame)
         if batch < 1:
             # Stalled on the network or on buffer drain: jump to the
             # earliest event that unblocks us.
             unblock = max(
                 network.time_when_available(next_frame + 1),
-                batch_buffers_free_time(next_frame, now) if free < 1 else now,
+                batch_buffers_free_time(next_frame, now, batch_cap)
+                if free < 1 else now,
             )
             now = max(unblock, now + video_cfg.frame_interval / 4)
             continue
@@ -371,11 +457,20 @@ def simulate(
                 if start > now + 1e-12:
                     decision = plan_slack(start - now,
                                           cfg.decoder.power_states,
-                                          transition_scale)
+                                          slack_scale(now))
                     tracker.record_slack(decision)
                     _attribute_slack(timeline, decision, index, cfg)
-            duration = vd.decode_duration(frame, scheme.racing)
+                    advance_thermal_slack(decision, start)
+            racing_now = scheme.racing
+            if thermal is not None and scheme.racing:
+                racing_now = thermal.boost_available(start)
+                if not racing_now:
+                    frames_at_nominal += 1
+            duration = vd.decode_duration(frame, racing_now)
+            power = cfg.decoder.active_power(racing_now)
             finish = start + duration
+            if thermal is not None:
+                thermal.advance_to(finish, power)
             slot = pool.admit(index)
 
             reference_base = None
@@ -433,7 +528,6 @@ def simulate(
             match_totals[1] += result.matches.inter
             match_totals[2] += result.matches.none
 
-            power = cfg.decoder.active_power(scheme.racing)
             tracker.record_execution(duration, power)
             timeline.decode_time[index] = duration
             timeline.exec_energy[index] = duration * power
@@ -451,10 +545,11 @@ def simulate(
     end_time = deadline(count - 1) + video_cfg.frame_interval
     if end_time > now:
         decision = plan_slack(end_time - now, cfg.decoder.power_states,
-                              transition_scale)
+                              slack_scale(now))
         tracker.record_slack(decision)
         _attribute_slack(timeline, decision, count, cfg,
                          batch=last_batch_size)
+        advance_thermal_slack(decision, end_time)
         now = end_time
     advance_display(end_time)
 
@@ -512,11 +607,17 @@ def simulate(
         injected_collisions=(mach_stats.injected_collisions
                              if mach_stats else 0),
         fallback_writes=mach_stats.fallback_writes if mach_stats else 0,
+        throttle_seconds=(thermal.throttle_seconds
+                          if thermal is not None else 0.0),
+        degradation_steps=(adaptive.degradation_steps
+                           if adaptive is not None else 0),
+        frames_at_nominal=frames_at_nominal,
     )
 
 
-def _attribute_slack(timeline: FrameTimeline, decision, upto_frame: int,
-                     cfg: SimulationConfig, batch: int = 1) -> None:
+def _attribute_slack(timeline: FrameTimeline, decision: SleepDecision,
+                     upto_frame: int, cfg: SimulationConfig,
+                     batch: int = 1) -> None:
     """Attribute a slack decision across the batch just decoded.
 
     The paper presents per-frame overheads with a batch's slack and

@@ -13,14 +13,34 @@ again.  It balances three constraints:
 
 With ``batch_size=1`` and the per-slot call times of the baseline, the
 same machinery degrades to the paper's frame-by-frame decoding.
+
+:class:`AdaptiveRtSGovernor` layers a graceful-degradation ladder on
+top for runs under thermal pressure (:mod:`repro.thermal`), where the
+boost frequency the plain governor's safety margin assumes can be
+revoked mid-session:
+
+0. boost granted — plan exactly like the fixed governor (and grow the
+   batch depth back toward the scheme's);
+1. boost revoked — re-plan the wake against the *nominal*-frequency
+   decode estimate, padded by the injected wake-delay bound;
+2. the full batch cannot form by the nominal-safe start — halve the
+   batch depth until it can (slack reclaimed from batch formation);
+3. even an immediate wake misses the S3 margin — drop the deep-sleep
+   wake latency from the margin and forbid S3 for the coming slack;
+4. the deadline is unmeetable under every adjustment — concede: wake
+   immediately, decode what is available, and let the display conceal.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..config import DecoderConfig, SchemeConfig
-from .batching import FrameSource
+from .batching import FrameSource, batch_ready_time
+
+if TYPE_CHECKING:  # import cycle: repro.thermal imports repro.config only
+    from ..thermal import ThermalModel
 
 #: Safety factor applied to the worst frame-type cycle count when
 #: estimating how long the next frame could take to decode.
@@ -33,6 +53,22 @@ class GovernorPlan:
 
     wake_time: float  # s, absolute simulation time of the wake
     reason: str  # 'deadline' | 'batch-ready' | 'immediate'
+
+
+@dataclass(frozen=True)
+class AdaptivePlan(GovernorPlan):
+    """One wake decision made under thermal pressure.
+
+    Extends :class:`GovernorPlan` with what the degradation ladder
+    decided: how many frames the coming batch may hold, whether decode
+    should request boost, whether the slack before the wake may use
+    deep sleep, and which ladder step produced the plan.
+    """
+
+    batch_cap: int  # frames the coming batch may decode
+    racing: bool  # request the boost frequency at wake
+    allow_s3: bool  # may the pre-wake slack enter S3
+    step: int  # ladder step 0-4 (0 = undegraded)
 
 
 class RaceToSleepGovernor:
@@ -57,19 +93,37 @@ class RaceToSleepGovernor:
         """When the display will ask for ``frame_index``."""
         return (frame_index + self.display_lead) * self.frame_interval
 
-    def conservative_decode_time(self) -> float:
-        """Pessimistic single-frame decode estimate for safety margins."""
+    def conservative_decode_time(self, racing: Optional[bool] = None) -> float:
+        """Pessimistic single-frame decode estimate for safety margins.
+
+        ``racing`` overrides the scheme's frequency choice — the
+        adaptive governor re-estimates at nominal when boost is
+        revoked; ``None`` keeps the scheme's own setting.
+        """
         worst_cycles = (self.decoder.base_cycles
                         + self.decoder.cycles_per_frame_i
                         * _DECODE_ESTIMATE_SAFETY)
-        freq = self.decoder.frequency(self.scheme.racing)
+        if racing is None:
+            racing = self.scheme.racing
+        freq = self.decoder.frequency(racing)
         return worst_cycles / freq
 
-    def latest_safe_start(self, frame_index: int) -> float:
-        """Decode of ``frame_index`` must start by this time."""
-        wake_margin = self.decoder.power_states.s3_wake_latency
+    def latest_safe_start(self, frame_index: int,
+                          racing: Optional[bool] = None,
+                          wake_latency: Optional[float] = None,
+                          extra_margin: float = 0.0) -> float:
+        """Decode of ``frame_index`` must start by this time.
+
+        ``wake_latency`` defaults to the S3 exit (the deepest sleep the
+        slack may use); ``extra_margin`` pads for hazards the estimate
+        does not cover (the adaptive governor passes the injected
+        wake-delay bound).
+        """
+        if wake_latency is None:
+            wake_latency = self.decoder.power_states.s3_wake_latency
         return (self.deadline(frame_index)
-                - self.conservative_decode_time() - wake_margin)
+                - self.conservative_decode_time(racing)
+                - wake_latency - extra_margin)
 
     # -- wake planning ------------------------------------------------------
 
@@ -84,12 +138,101 @@ class RaceToSleepGovernor:
         if self.scheme.batch_size == 1:
             wake = max(now, self.call_time(next_frame))
             return GovernorPlan(wake, "immediate")
-        last_of_batch = next_frame + self.scheme.batch_size - 1
-        batch_ready = max(
-            self.network.time_when_available(last_of_batch + 1),
-            batch_buffers_free_time,
-        )
+        batch_ready = batch_ready_time(self.network, next_frame,
+                                       self.scheme.batch_size,
+                                       batch_buffers_free_time)
         safe = self.latest_safe_start(next_frame)
         wake = max(now, min(batch_ready, safe))
         reason = "deadline" if safe < batch_ready else "batch-ready"
         return GovernorPlan(wake, reason)
+
+
+#: Ladder-step names, indexed by :attr:`AdaptivePlan.step`.
+LADDER_STEPS = ("boost", "nominal-replan", "shrink-batch",
+                "shallow-sleep", "concede")
+
+
+class AdaptiveRtSGovernor(RaceToSleepGovernor):
+    """Race-to-Sleep with the graceful-degradation ladder.
+
+    Consulted exactly like the fixed governor but aware of a
+    :class:`~repro.thermal.ThermalModel`: while boost is granted it
+    reproduces the fixed plan bit-for-bit (and recovers batch depth
+    one step per plan, AIMD-style); while boost is revoked it walks
+    the ladder documented in the module docstring.
+
+    ``degradation_steps`` accumulates the ladder step of every plan,
+    so a session that never degrades reports 0 and deeper/longer
+    degradation reports more.
+    """
+
+    def __init__(self, scheme: SchemeConfig, decoder: DecoderConfig,
+                 network: FrameSource, frame_interval: float,
+                 display_lead: int, thermal: "ThermalModel") -> None:
+        super().__init__(scheme, decoder, network, frame_interval,
+                         display_lead)
+        self.thermal = thermal
+        self.batch_cap = scheme.batch_size
+        self.degradation_steps = 0
+        self.max_step = 0
+
+    def plan_wake_adaptive(
+            self, now: float, next_frame: int,
+            buffers_free_time_for: Callable[[int], float]) -> AdaptivePlan:
+        """Ladder-aware :meth:`plan_wake`.
+
+        ``buffers_free_time_for(batch)`` must return when enough
+        frame-buffer slots will have drained for a ``batch``-frame
+        decode — the ladder re-evaluates it at each candidate depth.
+        """
+        psc = self.decoder.power_states
+        margin_extra = self.thermal.planning_margin()
+        if self.thermal.boost_available(now):
+            # Step 0: undegraded.  The fixed plan at the current depth
+            # (padded by the wake-delay bound, which can strike racing
+            # wakes too); recover one frame of depth per calm plan.
+            self.batch_cap = min(self.scheme.batch_size, self.batch_cap + 1)
+            batch_ready = batch_ready_time(
+                self.network, next_frame, self.batch_cap,
+                buffers_free_time_for(self.batch_cap))
+            safe = self.latest_safe_start(next_frame,
+                                          extra_margin=margin_extra)
+            wake = max(now, min(batch_ready, safe))
+            reason = "deadline" if safe < batch_ready else "batch-ready"
+            return AdaptivePlan(wake, reason, self.batch_cap, True, True, 0)
+
+        # Step 1: boost revoked — replan against the nominal estimate,
+        # padded by the injected wake-delay bound.
+        step = 1
+        safe = self.latest_safe_start(next_frame, racing=False,
+                                      extra_margin=margin_extra)
+        cap = self.batch_cap
+        batch_ready = batch_ready_time(self.network, next_frame, cap,
+                                       buffers_free_time_for(cap))
+        # Step 2: the batch cannot form by the safe start — halve the
+        # depth until it can (or until single-frame decoding).
+        while cap > 1 and batch_ready > safe:
+            cap = max(1, cap // 2)
+            step = 2
+            batch_ready = batch_ready_time(self.network, next_frame, cap,
+                                           buffers_free_time_for(cap))
+        self.batch_cap = cap
+        allow_s3 = True
+        if safe < now:
+            # Step 3: behind even waking now — deep sleep's wake
+            # latency no longer fits the margin, so forbid S3 and
+            # re-derive the safe start with the S1 exit.
+            step = 3
+            allow_s3 = False
+            safe = self.latest_safe_start(
+                next_frame, racing=False,
+                wake_latency=psc.s1_wake_latency, extra_margin=margin_extra)
+            if safe < now:
+                # Step 4: concede.  Wake immediately, decode what is
+                # buffered, and let the display conceal the miss.
+                step = 4
+        wake = max(now, min(batch_ready, safe))
+        self.degradation_steps += step
+        self.max_step = max(self.max_step, step)
+        return AdaptivePlan(wake, LADDER_STEPS[step], cap, False,
+                            allow_s3, step)

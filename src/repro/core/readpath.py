@@ -17,7 +17,7 @@ DRAM, plus the statistics behind Figs. 10c/10d/10e.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -190,7 +190,7 @@ class DisplayReadEngine:
 
         # Digest records through the MACH buffer.
         digest_values = layout.digests[digest_mask]
-        extra_addrs = []
+        extra_addrs: List[np.ndarray] = []
         if len(digest_values):
             if self.use_mach_buffer:
                 hits_mask, missed = self.buffer.process_frame(digest_values)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -101,6 +101,10 @@ class RunResult:
     concealed_blocks: int = 0
     injected_collisions: int = 0
     fallback_writes: int = 0
+    #: Thermal-pressure counters (zero when ThermalConfig is disabled).
+    throttle_seconds: float = 0.0  # s of the run with boost revoked
+    degradation_steps: int = 0  # summed ladder levels across wake plans
+    frames_at_nominal: int = 0  # racing frames decoded at the low freq
 
     @property
     def activations(self) -> int:
@@ -184,10 +188,13 @@ class RunResult:
             "concealed_blocks": self.concealed_blocks,
             "injected_collisions": self.injected_collisions,
             "fallback_writes": self.fallback_writes,
+            "throttle_seconds": self.throttle_seconds,
+            "degradation_steps": self.degradation_steps,
+            "frames_at_nominal": self.frames_at_nominal,
         }
 
     @classmethod
-    def from_jsonable(cls, data: Dict[str, object]) -> "RunResult":
+    def from_jsonable(cls, data: Dict[str, Any]) -> "RunResult":
         """Inverse of :meth:`to_jsonable`."""
         matches = data["matches"]
         read_stats = data["read_stats"]
@@ -221,6 +228,9 @@ class RunResult:
             concealed_blocks=data.get("concealed_blocks", 0),
             injected_collisions=data.get("injected_collisions", 0),
             fallback_writes=data.get("fallback_writes", 0),
+            throttle_seconds=data.get("throttle_seconds", 0.0),
+            degradation_steps=data.get("degradation_steps", 0),
+            frames_at_nominal=data.get("frames_at_nominal", 0),
         )
 
 

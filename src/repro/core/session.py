@@ -30,7 +30,7 @@ the three axes a streaming vendor actually balances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Any, List, Optional, Sequence, Union
 
 from ..config import SchemeConfig, SimulationConfig
 from ..video.synthesis import VideoProfile
@@ -42,7 +42,7 @@ from .results import RunResult
 class Play:
     """Play ``n_frames`` of a source (a profile or trace)."""
 
-    source: object
+    source: Any  # VideoProfile, FrameTrace, or sized DecodedFrame iterable
     n_frames: Optional[int] = None
     seek: bool = False  # a seek precedes this segment: flush + rebuffer
 
@@ -74,8 +74,12 @@ class SessionResult:
     abandoned_segments: int = 0
     concealed_blocks: int = 0
     fallback_writes: int = 0
+    #: Thermal-pressure census (all zero with ThermalConfig disabled).
+    throttle_seconds: float = 0.0  # s of playback with boost revoked
+    degradation_steps: int = 0  # summed governor ladder levels
+    frames_at_nominal: int = 0  # racing frames decoded at the low freq
     segments: List[RunResult] = field(default_factory=list)
-    deliveries: List[object] = field(default_factory=list)
+    deliveries: List[Any] = field(default_factory=list)
 
     @property
     def total_energy(self) -> float:
@@ -221,6 +225,9 @@ class SessionSimulator:
             result.drops += run.drops
             result.concealed_blocks += run.concealed_blocks
             result.fallback_writes += run.fallback_writes
+            result.throttle_seconds += run.throttle_seconds
+            result.degradation_steps += run.degradation_steps
+            result.frames_at_nominal += run.frames_at_nominal
         return result
 
 

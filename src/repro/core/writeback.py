@@ -18,7 +18,7 @@ The engine also emits the frame's line-granular write traffic
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -157,7 +157,7 @@ class WritebackEngine:
 
     # -- MACH path ---------------------------------------------------------------
 
-    def _digest_frame(self, frame: DecodedFrame):
+    def _digest_frame(self, frame: DecodedFrame) -> Tuple[np.ndarray, np.ndarray]:
         """Digests (+CRC16 aux where available) for every block."""
         if self._use_gradient:
             tag_input, _ = to_gradient(frame.blocks)

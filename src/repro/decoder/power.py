@@ -44,7 +44,8 @@ class SleepDecision:
 
 
 def plan_slack(slack: float, config: PowerStateConfig,
-               transition_scale: float = 1.0) -> SleepDecision:
+               transition_scale: float = 1.0,
+               allow_s3: bool = True) -> SleepDecision:
     """Choose the deepest profitable sleep state for ``slack`` seconds.
 
     The wake latency is paid at the end of the slack window so the next
@@ -55,6 +56,10 @@ def plan_slack(slack: float, config: PowerStateConfig,
     :attr:`PowerStateConfig.racing_transition_factor`); the breakeven
     test uses the scaled cost, so an expensive transition must still
     pay for itself.
+
+    ``allow_s3=False`` caps the sleep depth at S1 — the adaptive
+    governor's shallow-sleep ladder step, for slack windows whose
+    deadline margin can no longer absorb the deep-sleep exit latency.
     """
     if slack < 0:
         raise ValueError(f"slack must be non-negative, got {slack}")
@@ -64,7 +69,7 @@ def plan_slack(slack: float, config: PowerStateConfig,
                        config.s3_wake_latency)
     s1_breakeven = max(s1_energy / (config.p_idle_power - config.s1_power),
                        config.s1_wake_latency)
-    if slack >= s3_breakeven:
+    if allow_s3 and slack >= s3_breakeven:
         wake = config.s3_wake_latency
         return SleepDecision(PowerState.S3, slack - wake, 0.0, wake,
                              s3_energy)

@@ -54,6 +54,11 @@ class RunnerError(ReproError):
     checkpoint mismatch, exhausted retries)."""
 
 
+class ThermalError(ReproError):
+    """A thermal/power-budget model was misconfigured or driven
+    backwards in time."""
+
+
 class LintError(ReproError):
     """The static-analysis pass was misconfigured or could not read
     a target (unknown rule id, unparseable file, bad baseline)."""

@@ -66,6 +66,12 @@ def _hash_u01(seed: int, site: int, *indices: int) -> float:
     return (state >> 11) * _INV_2_53
 
 
+#: Public alias for sibling injection schedules (:mod:`repro.thermal`
+#: draws its throttle events from the same order-free mixer so thermal
+#: and fault plans share one determinism story).
+hash_u01 = _hash_u01
+
+
 def _hash_u01_vector(seed: int, site: int, index: int,
                      count: int) -> np.ndarray:
     """Vectorized ``_hash_u01`` over ``count`` sub-indices (numpy u64)."""

@@ -2,6 +2,6 @@
 
 from __future__ import annotations
 
-from . import api, determinism, errorpolicy, units  # noqa: F401
+from . import api, determinism, errorpolicy, floats, units  # noqa: F401
 
-__all__ = ["api", "determinism", "errorpolicy", "units"]
+__all__ = ["api", "determinism", "errorpolicy", "floats", "units"]

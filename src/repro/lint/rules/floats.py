@@ -1,0 +1,79 @@
+"""Float-comparison rules (``F``): no exact ``==`` on quantities.
+
+Energies, powers, and times come out of long float pipelines — sums
+over thousands of frames, closed-form exponentials, unit conversions.
+Exact ``==``/``!=`` between two such values is almost always a latent
+flake: it holds on one platform's FMA contraction and fails on the
+next.  Intentional exact equality (bit-identity checkpoints, the
+determinism contract) is a *claim* and must say so in a suppression;
+everything else belongs in ``math.isclose`` / ``pytest.approx``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleContext
+from ..registry import RawViolation, rule
+
+#: Name fragments that mark an operand as a physical float quantity.
+#: Matched against every attribute/name segment of the operand, so
+#: ``run.energy.total`` is a quantity (via ``energy``) even though
+#: ``total`` alone is not.
+_QUANTITY_SUFFIXES = ("_energy", "_power", "_seconds", "_latency",
+                      "_joules", "_watts")
+_QUANTITY_NAMES = {"energy", "power", "elapsed", "latency",
+                   "stall_seconds", "throttle_seconds"}
+
+#: Call names whose result is an approximate-comparison wrapper; a
+#: comparison against one is the *fix*, not the bug.
+_APPROX_CALLS = {"approx", "isclose"}
+
+
+def _segments(node: ast.AST) -> Iterator[str]:
+    """Every Name/Attribute segment inside an operand expression."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+
+
+def _is_quantity(node: ast.AST) -> bool:
+    for segment in _segments(node):
+        if segment in _QUANTITY_NAMES:
+            return True
+        if any(segment.endswith(suffix)
+               for suffix in _QUANTITY_SUFFIXES):
+            return True
+    return False
+
+
+def _is_approx_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    target = node.func
+    name = target.attr if isinstance(target, ast.Attribute) else (
+        target.id if isinstance(target, ast.Name) else None)
+    return name in _APPROX_CALLS
+
+
+@rule("F001", "float-quantity-equality", "float-compare",
+      "no exact ==/!= between float energy/power/time quantities")
+def float_quantity_equality(ctx: ModuleContext) -> Iterator[RawViolation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_approx_call(left) or _is_approx_call(right):
+                continue
+            if _is_quantity(left) or _is_quantity(right):
+                yield (node.lineno, node.col_offset,
+                       "exact ==/!= on a float quantity — use "
+                       "math.isclose/pytest.approx, or suppress with "
+                       "the exactness claim (bit-identity contracts)")
+                break

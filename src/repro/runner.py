@@ -47,15 +47,21 @@ class MatrixResult(Mapping):
     plain dict keep working; supervision outcomes live alongside:
 
     * ``errors`` — ``{(video, scheme): "ExcType: message"}`` for jobs
-      that exhausted their retries;
+      that exhausted their retries (always a ``repro.errors`` type:
+      foreign exceptions are wrapped into ``RunnerError`` at the
+      isolation boundary);
     * ``retried`` — jobs that failed at least once but recovered;
-    * ``resumed`` — jobs loaded from a checkpoint instead of run.
+    * ``resumed`` — jobs loaded from a checkpoint instead of run;
+    * ``quarantined`` — ``{moved-to path: reason}`` for checkpoint
+      files that were unusable (corrupt, truncated, or written by a
+      different matrix) and were set aside instead of trusted.
     """
 
     results: Dict[MatrixKey, RunResult] = field(default_factory=dict)
     errors: Dict[MatrixKey, str] = field(default_factory=dict)
     retried: List[MatrixKey] = field(default_factory=list)
     resumed: List[MatrixKey] = field(default_factory=list)
+    quarantined: Dict[str, str] = field(default_factory=dict)
 
     def __getitem__(self, key: MatrixKey) -> RunResult:
         return self.results[key]
@@ -85,30 +91,79 @@ def _job_key(job) -> MatrixKey:
 # -- checkpointing -------------------------------------------------------------
 
 
+def _quarantine(path: str, reason: str) -> Tuple[str, str]:
+    """Move an unusable checkpoint to ``<path>.corrupt``.
+
+    The evidence survives for post-mortems while the original path is
+    freed for a fresh checkpoint.  Returns ``(moved-to path, reason)``.
+    """
+    target = path + ".corrupt"
+    try:
+        os.replace(path, target)
+    except OSError as exc:
+        raise RunnerError(
+            f"cannot quarantine checkpoint {path!r} to {target!r}: "
+            f"{exc}") from exc
+    return target, reason
+
+
+def _parse_checkpoint(data: object, meta: Dict[str, object]
+                      ) -> Dict[MatrixKey, RunResult]:
+    """Validate a decoded checkpoint payload entry by entry."""
+    if not isinstance(data, dict):
+        raise ValueError(f"top level is {type(data).__name__}, not an "
+                         "object")
+    if data.get("version") != _CHECKPOINT_VERSION:
+        raise ValueError(f"version {data.get('version')!r}, expected "
+                         f"{_CHECKPOINT_VERSION}")
+    if data.get("meta") != meta:
+        raise ValueError(
+            f"written by a different matrix (saved meta "
+            f"{data.get('meta')!r} != current {meta!r})")
+    completed: Dict[MatrixKey, RunResult] = {}
+    entries = data.get("completed", [])
+    if not isinstance(entries, list):
+        raise ValueError("'completed' is not a list")
+    for index, entry in enumerate(entries):
+        try:
+            key = (entry["video"], entry["scheme"])
+            completed[key] = RunResult.from_jsonable(entry["result"])
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ValueError(
+                f"completed[{index}] does not decode to a RunResult: "
+                f"{type(exc).__name__}: {exc}") from exc
+    return completed
+
+
 def _load_checkpoint(path: str, meta: Dict[str, object]
-                     ) -> Dict[MatrixKey, RunResult]:
-    """Read completed jobs from ``path`` (empty dict if absent)."""
+                     ) -> Tuple[Dict[MatrixKey, RunResult],
+                                Dict[str, str]]:
+    """Read completed jobs from ``path`` (empty if absent).
+
+    An unusable file — truncated or non-JSON, wrong version, written
+    by a different matrix, or holding entries that do not decode back
+    to :class:`RunResult` — is quarantined to ``<path>.corrupt`` and
+    the matrix starts fresh: losing a half-written checkpoint to a
+    crash is exactly the failure mode checkpointing exists to absorb,
+    so it must not itself be fatal.  Returns ``(completed runs,
+    {quarantine path: reason})``.
+    """
     if not os.path.exists(path):
-        return {}
+        return {}, {}
     try:
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
-    except (OSError, ValueError) as exc:
+    except OSError as exc:
+        # Not corruption: the filesystem refused us, and a quarantine
+        # rename would likely fail the same way.
         raise RunnerError(f"unreadable checkpoint {path!r}: {exc}") from exc
-    if data.get("version") != _CHECKPOINT_VERSION:
-        raise RunnerError(
-            f"checkpoint {path!r} has version {data.get('version')!r}, "
-            f"expected {_CHECKPOINT_VERSION}")
-    if data.get("meta") != meta:
-        raise RunnerError(
-            f"checkpoint {path!r} was written by a different matrix "
-            f"(saved meta {data.get('meta')!r} != current {meta!r}); "
-            "delete it or pass a different checkpoint path")
-    completed: Dict[MatrixKey, RunResult] = {}
-    for entry in data.get("completed", []):
-        key = (entry["video"], entry["scheme"])
-        completed[key] = RunResult.from_jsonable(entry["result"])
-    return completed
+    except ValueError as exc:
+        return {}, dict([_quarantine(path, f"not valid JSON: {exc}")])
+    try:
+        completed = _parse_checkpoint(data, meta)
+    except ValueError as exc:
+        return {}, dict([_quarantine(path, str(exc))])
+    return completed, {}
 
 
 def _save_checkpoint(path: str, meta: Dict[str, object],
@@ -132,6 +187,21 @@ def _save_checkpoint(path: str, meta: Dict[str, object],
 # -- supervised execution ------------------------------------------------------
 
 
+def _failure_message(exc: BaseException) -> str:
+    """Describe a failed job with a ``repro.errors`` type.
+
+    Deliberate simulator failures already carry their typed class; a
+    foreign exception (a bug, a numpy error, a KeyError from a bad
+    workload key) is re-wrapped into :class:`RunnerError` at this
+    boundary so ``MatrixResult.errors`` never exposes raw exception
+    types to downstream consumers.
+    """
+    if isinstance(exc, ReproError):
+        return f"{type(exc).__name__}: {exc}"
+    wrapped = RunnerError(f"job raised {type(exc).__name__}: {exc}")
+    return f"{type(wrapped).__name__}: {wrapped}"
+
+
 def _run_round_inline(jobs) -> Tuple[Dict[MatrixKey, RunResult],
                                      List[Tuple[object, str]]]:
     """One attempt over ``jobs`` without a pool (timeouts inapplicable:
@@ -143,8 +213,10 @@ def _run_round_inline(jobs) -> Tuple[Dict[MatrixKey, RunResult],
         try:
             key, result = _run_one(job)
             done[key] = result
-        except Exception as exc:  # repro-lint: disable=E002 isolation is the runner's contract: one crashing job must not kill the matrix
-            failed.append((job, f"{type(exc).__name__}: {exc}"))
+        except ReproError as exc:
+            failed.append((job, _failure_message(exc)))
+        except Exception as exc:  # repro-lint: disable=E002 isolation boundary: a non-Repro crash is re-wrapped into RunnerError, never propagated into the matrix
+            failed.append((job, _failure_message(exc)))
     return done, failed
 
 
@@ -173,10 +245,13 @@ def _run_round_pool(jobs, processes: int, job_timeout: Optional[float]
                 done[key] = result
             except (TimeoutError, _FuturesTimeout):
                 future.cancel()
-                failed.append(
-                    (job, f"TimeoutError: exceeded {job_timeout}s"))
-            except Exception as exc:  # repro-lint: disable=E002 isolation is the runner's contract: one crashing job must not kill the matrix
-                failed.append((job, f"{type(exc).__name__}: {exc}"))
+                failed.append((job, _failure_message(RunnerError(
+                    f"job exceeded its {job_timeout}s timeout and was "
+                    "abandoned"))))
+            except ReproError as exc:
+                failed.append((job, _failure_message(exc)))
+            except Exception as exc:  # repro-lint: disable=E002 isolation boundary: a non-Repro crash is re-wrapped into RunnerError, never propagated into the matrix
+                failed.append((job, _failure_message(exc)))
     return done, failed
 
 
@@ -212,7 +287,10 @@ def run_matrix(
             already exists (same matrix meta), its jobs are loaded
             instead of re-run, so a killed matrix resumes where it
             stopped — bit-identically, since simulations are
-            deterministic.
+            deterministic.  A corrupt, truncated, or wrong-matrix
+            checkpoint is quarantined to ``<checkpoint>.corrupt``
+            (recorded in ``MatrixResult.quarantined``) and the matrix
+            starts fresh instead of raising.
         isolate_errors: collect failing jobs into ``errors`` (the
             default) instead of re-raising the first failure.
 
@@ -232,7 +310,8 @@ def run_matrix(
     meta = {"n_frames": n_frames, "seed": seed}
     if checkpoint is not None:
         wanted = {_job_key(job) for job in jobs}
-        for key, result in _load_checkpoint(checkpoint, meta).items():
+        completed, matrix.quarantined = _load_checkpoint(checkpoint, meta)
+        for key, result in completed.items():
             if key in wanted:
                 matrix.results[key] = result
                 matrix.resumed.append(key)

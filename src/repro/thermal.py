@@ -1,0 +1,272 @@
+"""Thermal / power-budget pressure on the VD boost clock.
+
+Race-to-Sleep's zero-drop guarantee rests on the 300 MHz boost always
+being grantable, but sustained boost is exactly what a handheld SoC's
+thermal and power-delivery limits revoke first.  This module supplies
+the *pressure* side of that story:
+
+* a **lumped-RC junction model** — ``T' = T_target + (T - T_target) *
+  exp(-dt / RC)`` with ``T_target = ambient + P * R`` — driven by the
+  per-phase VD power the pipeline already tracks, with hysteresis
+  between ``throttle_temp_c`` and ``release_temp_c``;
+* a **sustained-power cap** — an exponential moving average of the
+  same power signal compared against ``sustained_power_cap``;
+* **injected throttle events** in the :class:`repro.faults.FaultPlan`
+  style: a pure-function schedule (:class:`ThermalPlan`) hashed from
+  ``(seed, site, slot)`` that revokes boost for a duty fraction of a
+  slot (``cap_drop_*``), pins DVFS at nominal for whole slots
+  (``stuck_dvfs_rate``), or delays sleep wake-ups
+  (``delayed_transition_rate`` / ``transition_delay``).
+
+Determinism matters as much here as in fault injection: the injected
+schedule is order-free (a pure function of wall-clock time), and the
+RC/EMA state advances only through :meth:`ThermalModel.advance_to`,
+which the pipeline drives from its own deterministic event sequence.
+Two runs with the same config therefore see byte-identical throttling.
+
+Window nesting gives structural monotonicity: the revocation window of
+slot ``k`` is ``[k*I, k*I + duty*I)`` with the accept/reject uniform
+independent of ``duty``, so a stricter (higher-duty, higher-rate)
+config's revoked set is a superset of a milder one's for the same seed.
+
+The *response* side — the graceful-degradation ladder — lives in
+:class:`repro.core.race_to_sleep.AdaptiveRtSGovernor`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .config import ThermalConfig
+from .errors import ThermalError
+from .faults import hash_u01
+
+# Injection-site discriminators (same role as in repro.faults: the same
+# slot index must not correlate across event kinds).
+_SITE_CAP_DROP = 0xCA9D
+_SITE_STUCK_DVFS = 0x57CC
+_SITE_WAKE_DELAY = 0xDE1A
+
+#: The sustained-power EMA must fall back below this fraction of the
+#: cap before boost returns (hysteresis against chatter at the cap).
+_CAP_RELEASE_FRACTION = 0.95
+
+#: Longest RC/EMA integration piece, as a fraction of the shorter model
+#: time constant — keeps the piecewise-sampled throttle state close to
+#: the continuous hysteresis crossings.
+_MAX_PIECE_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class ThermalPlan:
+    """Pure-function injected-throttle schedule (``FaultPlan``'s sibling).
+
+    Every query is deterministic in ``(config.seed, site, slot)`` where
+    ``slot = floor(time / event_interval)``; the plan holds no mutable
+    state and can be queried for any time in any order.
+    """
+
+    config: ThermalConfig
+
+    @classmethod
+    def from_config(cls, config: ThermalConfig) -> Optional["ThermalPlan"]:
+        """A plan for ``config``, or ``None`` when nothing is injected."""
+        return cls(config) if config.injects else None
+
+    def _slot(self, time: float) -> int:
+        return int(time / self.config.event_interval) if time > 0 else 0
+
+    def cap_drop_seconds(self, slot: int) -> float:
+        """Length of the boost-revocation window opening ``slot``."""
+        cfg = self.config
+        if cfg.cap_drop_rate <= 0 or cfg.cap_drop_duty <= 0:
+            return 0.0
+        u = hash_u01(cfg.seed, _SITE_CAP_DROP, slot)
+        if u < cfg.cap_drop_rate:
+            return cfg.event_interval * cfg.cap_drop_duty
+        return 0.0
+
+    def stuck_at_nominal(self, slot: int) -> bool:
+        """Whole-slot firmware stuck-at: boost requests are ignored."""
+        cfg = self.config
+        if cfg.stuck_dvfs_rate <= 0:
+            return False
+        return hash_u01(cfg.seed, _SITE_STUCK_DVFS, slot) < cfg.stuck_dvfs_rate
+
+    def boost_revoked(self, time: float) -> bool:
+        """Does an injected event deny boost at ``time``?"""
+        slot = self._slot(time)
+        if self.stuck_at_nominal(slot):
+            return True
+        offset = time - slot * self.config.event_interval
+        return offset < self.cap_drop_seconds(slot)
+
+    def wake_delay(self, time: float) -> float:
+        """Extra wake latency (s) injected on a sleep exit at ``time``."""
+        cfg = self.config
+        if cfg.delayed_transition_rate <= 0:
+            return 0.0
+        u = hash_u01(cfg.seed, _SITE_WAKE_DELAY, self._slot(time))
+        return cfg.transition_delay if u < cfg.delayed_transition_rate else 0.0
+
+    def next_boundary(self, time: float) -> float:
+        """First injected-schedule edge strictly after ``time``.
+
+        Edges are slot starts and cap-drop window ends; between two
+        consecutive edges :meth:`boost_revoked` is constant, which is
+        what lets :meth:`ThermalModel.advance_to` integrate throttle
+        time exactly.
+        """
+        interval = self.config.event_interval
+        slot = self._slot(time)
+        window_end = slot * interval + self.cap_drop_seconds(slot)
+        if time < window_end - 1e-15:
+            return window_end
+        return (slot + 1) * interval
+
+    def revoked_overlap(self, start: float, end: float) -> float:
+        """Exact injected-revocation time within ``[start, end)``."""
+        if end <= start:
+            return 0.0
+        interval = self.config.event_interval
+        total = 0.0
+        slot = self._slot(start)
+        while slot * interval < end:
+            slot_start = slot * interval
+            if self.stuck_at_nominal(slot):
+                window_end = slot_start + interval
+            else:
+                window_end = slot_start + self.cap_drop_seconds(slot)
+            lo = max(start, slot_start)
+            hi = min(end, window_end)
+            if hi > lo:
+                total += hi - lo
+            slot += 1
+        return total
+
+
+@dataclass(frozen=True)
+class ThermalSnapshot:
+    """Read-only view of a :class:`ThermalModel` at its current time."""
+
+    time: float  # s, how far the model has been advanced
+    temp_c: float  # deg C junction temperature
+    ema_power: float  # W sustained-power moving average
+    throttled: bool  # boost currently denied by temp/cap state
+    throttle_seconds: float  # s of boost revocation integrated so far
+
+
+class ThermalModel:
+    """Stateful junction-temperature / power-budget tracker.
+
+    The pipeline owns one per run and drives it forward with
+    :meth:`advance_to` at every power-phase boundary (decode, idle,
+    sleep); :meth:`boost_available` is what the governor and the decode
+    loop consult.  Queries never mutate RC/EMA state, so planning a
+    wake and then paying for it observe the same world.
+    """
+
+    def __init__(self, config: ThermalConfig) -> None:
+        if not config.enabled:
+            raise ThermalError("ThermalModel requires an enabled ThermalConfig")
+        self.config = config
+        self.plan = ThermalPlan.from_config(config)
+        self.time = 0.0
+        self.temp_c = config.ambient_c
+        self.ema_power = 0.0
+        self._hot = False
+        self._cap_throttled = False
+        self.throttle_seconds = 0.0
+        rc_tau = config.thermal_resistance * config.thermal_capacitance
+        self._max_piece = _MAX_PIECE_FRACTION * min(rc_tau, config.cap_window)
+
+    # -- queries (pure w.r.t. RC/EMA state) -----------------------------
+
+    def _state_throttled(self) -> bool:
+        return self._hot or self._cap_throttled
+
+    def boost_available(self, time: float) -> bool:
+        """May the VD run at the boost frequency around ``time``?
+
+        Temperature and cap hysteresis are sampled from the state the
+        model has been advanced to; injected events are evaluated at
+        ``time`` itself (they are pure functions of wall clock).
+        """
+        if self._state_throttled():
+            return False
+        if self.plan is not None and self.plan.boost_revoked(time):
+            return False
+        return True
+
+    def wake_delay(self, time: float) -> float:
+        """Injected extra latency for a sleep exit completing at ``time``."""
+        return self.plan.wake_delay(time) if self.plan is not None else 0.0
+
+    def planning_margin(self) -> float:
+        """Wake-latency padding a careful governor should plan for.
+
+        When delayed transitions are being injected at all, any wake
+        may pay ``transition_delay``; planning for the worst case is
+        deterministic and costs only earlier wake-ups.
+        """
+        cfg = self.config
+        if cfg.delayed_transition_rate > 0:
+            return cfg.transition_delay
+        return 0.0
+
+    def snapshot(self) -> ThermalSnapshot:
+        return ThermalSnapshot(
+            time=self.time,
+            temp_c=self.temp_c,
+            ema_power=self.ema_power,
+            throttled=self._state_throttled(),
+            throttle_seconds=self.throttle_seconds,
+        )
+
+    # -- state advancement ---------------------------------------------
+
+    def advance_to(self, time: float, power: float) -> None:
+        """Integrate the model forward to ``time`` at constant ``power``.
+
+        Splits the span at injected-schedule edges (so revocation time
+        integrates exactly) and at ``_MAX_PIECE_FRACTION`` of the model
+        time constants (so hysteresis state tracks the RC/EMA curves
+        closely); within each piece the exponentials are applied in
+        closed form.
+        """
+        if time < self.time - 1e-9:
+            raise ThermalError(
+                f"thermal model driven backwards: {time} < {self.time}")
+        cfg = self.config
+        rc_tau = cfg.thermal_resistance * cfg.thermal_capacitance
+        target = cfg.ambient_c + power * cfg.thermal_resistance
+        while self.time < time - 1e-12:
+            piece_end = min(time, self.time + self._max_piece)
+            if self.plan is not None:
+                piece_end = min(piece_end, self.plan.next_boundary(self.time))
+            dt = piece_end - self.time
+            if dt <= 0:  # numerical guard: force progress
+                piece_end = time
+                dt = piece_end - self.time
+            midpoint = self.time + dt * 0.5
+            if self._state_throttled() or (
+                    self.plan is not None
+                    and self.plan.boost_revoked(midpoint)):
+                self.throttle_seconds += dt
+            self.temp_c = target + (self.temp_c - target) * math.exp(
+                -dt / rc_tau)
+            self.ema_power = power + (self.ema_power - power) * math.exp(
+                -dt / cfg.cap_window)
+            if self.temp_c >= cfg.throttle_temp_c:
+                self._hot = True
+            elif self.temp_c <= cfg.release_temp_c:
+                self._hot = False
+            if cfg.sustained_power_cap > 0:
+                if self.ema_power > cfg.sustained_power_cap:
+                    self._cap_throttled = True
+                elif self.ema_power <= (cfg.sustained_power_cap
+                                        * _CAP_RELEASE_FRACTION):
+                    self._cap_throttled = False
+            self.time = piece_end

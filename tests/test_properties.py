@@ -79,3 +79,53 @@ class TestPipelineInvariants:
         batched = simulate(profile, SchemeConfig(name="b8", batch_size=8),
                            n_frames=16, seed=1, config=_TINY)
         assert batched.drops <= base.drops
+
+
+class TestThermalInvariants:
+    """The thermal model's determinism and monotonicity contracts."""
+
+    @given(thermal_seed=st.integers(0, 40), duty=st.floats(0.1, 1.0),
+           rate=st.floats(0.1, 1.0), profile=_profile_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_governor_is_deterministic(self, thermal_seed, duty, rate,
+                                       profile):
+        import json
+        from dataclasses import replace
+
+        from repro.config import ThermalConfig
+
+        scheme = SchemeConfig(name="rts16", batch_size=16, racing=True)
+        cfg = replace(_TINY, thermal=ThermalConfig(
+            enabled=True, seed=thermal_seed, event_interval=0.25,
+            cap_drop_rate=rate, cap_drop_duty=duty,
+            delayed_transition_rate=rate))
+        first = simulate(profile, scheme, n_frames=16, seed=1, config=cfg)
+        second = simulate(profile, scheme, n_frames=16, seed=1, config=cfg)
+        assert json.dumps(first.to_jsonable()) == json.dumps(
+            second.to_jsonable())
+
+    def test_degradation_monotone_in_cap_duty(self):
+        # A stricter cap (longer revocation windows, nested by
+        # construction) must never produce *fewer* ladder steps.
+        from dataclasses import replace
+
+        from repro.config import RACE_TO_SLEEP, ThermalConfig
+        from repro.video import workload
+
+        base = SimulationConfig()
+        steps, throttles = [], []
+        for duty in (0.0, 0.25, 0.55, 0.85, 1.0):
+            cfg = replace(
+                base,
+                network=replace(base.network, preroll_frames=30),
+                thermal=ThermalConfig(
+                    enabled=True, seed=7, event_interval=1.0,
+                    cap_drop_rate=1.0, cap_drop_duty=duty,
+                    delayed_transition_rate=0.5))
+            run = simulate(workload("V5"), RACE_TO_SLEEP, n_frames=48,
+                           seed=7, config=cfg)
+            steps.append(run.degradation_steps)
+            throttles.append(run.throttle_seconds)
+        assert steps == sorted(steps)
+        assert throttles == sorted(throttles)
+        assert steps[0] == 0 and steps[-1] > 0

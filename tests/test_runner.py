@@ -116,17 +116,61 @@ class TestCheckpointing:
         assert data["version"] == 1
         assert len(data["completed"]) == 1
 
-    def test_mismatched_checkpoint_rejected(self, tmp_path):
+    def test_mismatched_checkpoint_quarantined(self, tmp_path):
         ckpt = str(tmp_path / "matrix.json")
         run_matrix(videos=["V8"], schemes=(BASELINE,), n_frames=16,
                    seed=2, processes=1, checkpoint=ckpt)
-        with pytest.raises(RunnerError, match="different matrix"):
-            run_matrix(videos=["V8"], schemes=(BASELINE,), n_frames=16,
-                       seed=3, processes=1, checkpoint=ckpt)
+        matrix = run_matrix(videos=["V8"], schemes=(BASELINE,),
+                            n_frames=16, seed=3, processes=1,
+                            checkpoint=ckpt)
+        assert set(matrix) == {("V8", "Baseline")}
+        assert not matrix.resumed
+        assert list(matrix.quarantined) == [ckpt + ".corrupt"]
+        assert "different matrix" in matrix.quarantined[ckpt + ".corrupt"]
+        assert os.path.exists(ckpt + ".corrupt")
+        # The fresh run rewrote a valid checkpoint for the new matrix.
+        data = json.loads(open(ckpt).read())
+        assert data["meta"]["seed"] == 3
 
-    def test_corrupt_checkpoint_rejected(self, tmp_path):
+    def test_corrupt_checkpoint_quarantined(self, tmp_path):
         ckpt = tmp_path / "matrix.json"
         ckpt.write_text("{not json")
-        with pytest.raises(RunnerError, match="unreadable"):
-            run_matrix(videos=["V8"], schemes=(BASELINE,), n_frames=16,
-                       seed=2, processes=1, checkpoint=str(ckpt))
+        matrix = run_matrix(videos=["V8"], schemes=(BASELINE,),
+                            n_frames=16, seed=2, processes=1,
+                            checkpoint=str(ckpt))
+        assert set(matrix) == {("V8", "Baseline")}
+        quarantine = str(ckpt) + ".corrupt"
+        assert list(matrix.quarantined) == [quarantine]
+        assert "not valid JSON" in matrix.quarantined[quarantine]
+        assert open(quarantine).read() == "{not json"
+
+    def test_truncated_checkpoint_starts_fresh(self, tmp_path):
+        ckpt = str(tmp_path / "matrix.json")
+        kwargs = dict(videos=["V8"], schemes=(BASELINE,), n_frames=16,
+                      seed=2, processes=1)
+        run_matrix(checkpoint=ckpt, **kwargs)
+        text = open(ckpt).read()
+        with open(ckpt, "w") as handle:
+            handle.write(text[:len(text) // 2])  # simulated power cut
+        resumed = run_matrix(checkpoint=ckpt, **kwargs)
+        fresh = run_matrix(**kwargs)
+        assert not resumed.resumed
+        assert resumed.quarantined
+        key = ("V8", "Baseline")
+        assert resumed[key].energy.total == fresh[key].energy.total
+
+    def test_invalid_entry_quarantined(self, tmp_path):
+        ckpt = str(tmp_path / "matrix.json")
+        run_matrix(videos=["V8"], schemes=(BASELINE,), n_frames=16,
+                   seed=2, processes=1, checkpoint=ckpt)
+        data = json.loads(open(ckpt).read())
+        del data["completed"][0]["result"]["energy"]
+        with open(ckpt, "w") as handle:
+            json.dump(data, handle)
+        matrix = run_matrix(videos=["V8"], schemes=(BASELINE,),
+                            n_frames=16, seed=2, processes=1,
+                            checkpoint=ckpt)
+        assert set(matrix) == {("V8", "Baseline")}
+        assert not matrix.resumed
+        reason = matrix.quarantined[ckpt + ".corrupt"]
+        assert "completed[0]" in reason
