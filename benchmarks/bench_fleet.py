@@ -1,0 +1,195 @@
+"""Fleet engine benchmark: sessions/sec throughput and bounded memory.
+
+``repro.fleet`` prices millions of sessions through the calibrated
+flow-level surrogate; its contract is *streaming* execution — peak RSS
+must be set by the chunk size and the (fixed) contention field, not by
+the population size.  This bench measures both halves of that claim:
+
+* **throughput** — sessions scored per second on the reference
+  100k-session default population (calibration excluded: it is cached
+  and amortized across runs);
+* **bounded memory** — peak RSS after scoring successively larger
+  populations.  ``ru_maxrss`` is a process high-water mark, so scoring
+  10x the sessions on a flat engine leaves it (near) unchanged; an
+  engine that materialized per-session state would move it by the
+  population ratio.
+
+Run under pytest (``pytest benchmarks/bench_fleet.py``) for the full
+tables, or standalone::
+
+    python benchmarks/bench_fleet.py            # reference numbers
+    python benchmarks/bench_fleet.py --smoke    # reduced CI sweep
+
+both of which write the headline numbers to ``BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import format_table
+from repro.fleet import (
+    DeviceClass,
+    FleetCalibration,
+    LognormalComponent,
+    PopulationSpec,
+    RegionSpec,
+    calibrate,
+    default_population,
+    run_fleet,
+)
+from repro.units import MBPS
+
+try:  # pytest package-relative; absolute when run as a script
+    from .conftest import BENCH_SEED
+except ImportError:  # pragma: no cover - script mode
+    BENCH_SEED = 7
+
+#: Reference population size for the headline sessions/sec figure.
+REFERENCE_SESSIONS = 100_000
+
+#: Population ladder for the bounded-memory check (full mode tops out
+#: above the 1M-session acceptance bar).
+MEMORY_LADDER = (100_000, 400_000, 1_000_000)
+
+#: Peak-RSS growth allowed across a 10x population step, as a fraction
+#: of the first rung's peak.  A per-session materialization would grow
+#: linearly (x10); the streaming engine should stay within noise.
+RSS_GROWTH_BUDGET = 0.10
+
+
+def _smoke_spec() -> PopulationSpec:
+    """A 1-device, 2-title population whose calibration runs in <1 s."""
+    return PopulationSpec(
+        device_classes=(DeviceClass(name="ref", scheme="gab"),),
+        regions=(RegionSpec(
+            name="town", cells=4, cell_capacity=40 * MBPS,
+            bandwidth=(LognormalComponent(median=10 * MBPS, sigma=0.5),),
+        ),),
+        titles=("V1", "V8"),
+        calib_frames=16,
+        calib_seed=BENCH_SEED,
+    )
+
+
+def _peak_rss_bytes() -> int:
+    """Process high-water RSS (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def _throughput(spec: PopulationSpec, calibration: FleetCalibration,
+                sessions: int) -> Dict[str, float]:
+    start = time.perf_counter()
+    result = run_fleet(spec, sessions, seed=BENCH_SEED, shards=4,
+                       calibration=calibration)
+    elapsed = time.perf_counter() - start
+    fleet = result.cohort("fleet")
+    return {
+        "sessions": float(sessions),
+        "elapsed_seconds": elapsed,
+        "sessions_per_second": sessions / elapsed,
+        "mean_energy_j": fleet.moments["total_energy"].mean,
+        "mean_stall_seconds": fleet.moments["stall_seconds"].mean,
+        "saturated_cell_epochs": float(result.saturated_cell_epochs),
+    }
+
+
+def _memory_ladder(spec: PopulationSpec, calibration: FleetCalibration,
+                   ladder: Tuple[int, ...]) -> List[Dict[str, float]]:
+    rows = []
+    for sessions in ladder:
+        run_fleet(spec, sessions, seed=BENCH_SEED, shards=4,
+                  calibration=calibration)
+        rows.append({"sessions": float(sessions),
+                     "peak_rss_bytes": float(_peak_rss_bytes())})
+    return rows
+
+
+def _bench(spec: PopulationSpec,
+           ladder: Tuple[int, ...],
+           reference_sessions: int) -> Dict[str, object]:
+    calibration = calibrate(spec)
+    throughput = _throughput(spec, calibration, reference_sessions)
+    memory = _memory_ladder(spec, calibration, ladder)
+    first, last = memory[0], memory[-1]
+    rss_growth = (last["peak_rss_bytes"] - first["peak_rss_bytes"]) \
+        / first["peak_rss_bytes"]
+    return {
+        "seed": BENCH_SEED,
+        "spec_fingerprint": spec.fingerprint(),
+        "devices": len(spec.device_classes),
+        "titles": len(spec.titles),
+        "throughput": throughput,
+        "memory_ladder": memory,
+        "rss_growth_fraction": rss_growth,
+        "session_ratio": last["sessions"] / first["sessions"],
+    }
+
+
+def _check(payload: Dict[str, object]) -> None:
+    throughput = payload["throughput"]
+    assert throughput["sessions_per_second"] > 10_000, (
+        "fleet engine slower than 10k sessions/sec — the flow-level "
+        "surrogate has stopped being a surrogate")
+    assert payload["session_ratio"] >= 10.0
+    assert payload["rss_growth_fraction"] < RSS_GROWTH_BUDGET, (
+        f"peak RSS grew {payload['rss_growth_fraction']:.1%} across a "
+        f"{payload['session_ratio']:g}x population step — memory is "
+        "not bounded")
+
+
+def test_throughput_and_bounded_memory(benchmark, emit):
+    """Reference population: >10k sessions/s, RSS flat across 10x."""
+    payload = benchmark.pedantic(
+        _bench, rounds=1, iterations=1,
+        args=(default_population(), MEMORY_LADDER, REFERENCE_SESSIONS))
+    throughput = payload["throughput"]
+    emit(format_table(
+        ["sessions", "peak RSS MiB"],
+        [[int(row["sessions"]), row["peak_rss_bytes"] / 2**20]
+         for row in payload["memory_ladder"]],
+        title=f"Fleet bounded-memory ladder "
+              f"({throughput['sessions_per_second']:,.0f} sessions/s "
+              f"at the {REFERENCE_SESSIONS:,}-session reference)"))
+    _check(payload)
+
+
+def _smoke(path: str = "BENCH_fleet.json",
+           spec: Optional[PopulationSpec] = None,
+           ladder: Tuple[int, ...] = (50_000, 500_000),
+           reference_sessions: int = 50_000) -> Dict[str, object]:
+    """CI smoke: reduced population, headline JSON artifact."""
+    payload = _bench(spec or _smoke_spec(), ladder, reference_sessions)
+    _check(payload)
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+if __name__ == "__main__":  # pragma: no cover - CI smoke entry
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sweep for CI")
+    parser.add_argument("--out", default="BENCH_fleet.json")
+    args = parser.parse_args()
+    if args.smoke:
+        result = _smoke(args.out)
+    else:
+        result = _smoke(args.out, spec=default_population(),
+                        ladder=MEMORY_LADDER,
+                        reference_sessions=REFERENCE_SESSIONS)
+    throughput = result["throughput"]
+    ladder_rows = result["memory_ladder"]
+    print(f"wrote {args.out}: "
+          f"{throughput['sessions_per_second']:,.0f} sessions/s; peak "
+          f"RSS {ladder_rows[0]['peak_rss_bytes'] / 2**20:.0f} -> "
+          f"{ladder_rows[-1]['peak_rss_bytes'] / 2**20:.0f} MiB across "
+          f"{result['session_ratio']:g}x sessions "
+          f"(+{result['rss_growth_fraction']:.1%})")

@@ -68,6 +68,16 @@ _CORE_EXPORTS = {
     "ThermalSnapshot": ("thermal", "ThermalSnapshot"),
     "AdaptiveRtSGovernor": ("core.race_to_sleep", "AdaptiveRtSGovernor"),
     "validate_against_paper": ("validation", "validate_against_paper"),
+    "PopulationSpec": ("fleet.population", "PopulationSpec"),
+    "DeviceClass": ("fleet.population", "DeviceClass"),
+    "RegionSpec": ("fleet.population", "RegionSpec"),
+    "PopulationModel": ("fleet.population", "PopulationModel"),
+    "default_population": ("fleet.population", "default_population"),
+    "FleetCalibration": ("fleet.surrogate", "FleetCalibration"),
+    "load_or_calibrate": ("fleet.surrogate", "load_or_calibrate"),
+    "FleetResult": ("fleet.engine", "FleetResult"),
+    "CohortAggregate": ("fleet.engine", "CohortAggregate"),
+    "run_fleet": ("fleet.engine", "run_fleet"),
 }
 
 
@@ -122,5 +132,15 @@ __all__ = [
     "SyntheticVideo",
     "VideoProfile",
     "workload",
+    "PopulationSpec",
+    "DeviceClass",
+    "RegionSpec",
+    "PopulationModel",
+    "default_population",
+    "FleetCalibration",
+    "load_or_calibrate",
+    "FleetResult",
+    "CohortAggregate",
+    "run_fleet",
     "__version__",
 ]

@@ -12,7 +12,10 @@ Subcommands:
   radio's burst-vs-steady energy for a workload over a bandwidth
   trace;
 * ``thermal`` — thermal-pressure drill: injected boost revocations,
-  adaptive-ladder vs fixed-batch Race-to-Sleep governor.
+  adaptive-ladder vs fixed-batch Race-to-Sleep governor;
+* ``fleet`` — streaming population engine: score a heterogeneous
+  session population (1M+ sessions, bounded memory) through the
+  calibrated flow-level surrogate and report cohort distributions.
 """
 
 from __future__ import annotations
@@ -297,6 +300,45 @@ def _cmd_thermal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .fleet import (
+        PopulationSpec,
+        calibrate,
+        default_population,
+        load_or_calibrate,
+        run_fleet,
+    )
+
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = PopulationSpec.from_jsonable(json.load(handle))
+    else:
+        spec = default_population()
+
+    def status(line: str) -> None:
+        print(f"  {line} ...", file=sys.stderr)
+
+    if args.calibration:
+        calibration = load_or_calibrate(spec, args.calibration,
+                                        progress=status)
+    else:
+        calibration = calibrate(spec, progress=status)
+    result = run_fleet(spec, args.sessions, seed=args.seed,
+                       shards=args.shards,
+                       contention=not args.no_contention,
+                       calibration=calibration, progress=status)
+    print(result.report())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_jsonable(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote report to {args.json}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import (
         Baseline,
@@ -468,6 +510,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seed of the injected throttle plan "
                               "(content seed is --seed)")
     thermal.set_defaults(func=_cmd_thermal)
+
+    fleet = sub.add_parser(
+        "fleet", help="streaming population engine: cohort energy/"
+                      "stall distributions for 1M+ sessions")
+    fleet.add_argument("--spec", default=None,
+                       help="population spec JSON (default: the "
+                            "built-in reference population)")
+    fleet.add_argument("--sessions", type=int, default=100_000,
+                       help="population size (default 100000)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--shards", type=int, default=1,
+                       help="chunk stripes folded independently; the "
+                            "report is bit-identical for any value")
+    fleet.add_argument("--no-contention", action="store_true",
+                       help="give every session its private drawn "
+                            "bandwidth (skip the cell model)")
+    fleet.add_argument("--calibration", default=None,
+                       help="surrogate calibration cache file "
+                            "(created/validated on use)")
+    fleet.add_argument("--json", default=None,
+                       help="also write the FleetResult JSON here")
+    fleet.set_defaults(func=_cmd_fleet)
 
     lint = sub.add_parser(
         "lint", help="static invariant checks: determinism, units, "

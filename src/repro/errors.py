@@ -59,6 +59,12 @@ class ThermalError(ReproError):
     backwards in time."""
 
 
+class FleetError(ReproError):
+    """A fleet-scale population run was misconfigured or its online
+    aggregates were merged inconsistently (mismatched sketch params,
+    stale calibration, shard bookkeeping errors)."""
+
+
 class LintError(ReproError):
     """The static-analysis pass was misconfigured or could not read
     a target (unknown rule id, unparseable file, bad baseline)."""

@@ -1,0 +1,69 @@
+"""repro.fleet — streaming population engine for fleet-scale studies.
+
+Turns the single-device simulator into a population tool: declarative
+heterogeneous populations (:mod:`.population`), a flow-level surrogate
+calibrated from the exact per-frame pipeline (:mod:`.surrogate`),
+cell-level shared-bandwidth contention (:mod:`.cell`), and sharded
+streaming execution over exact mergeable online aggregates
+(:mod:`.sketches`, :mod:`.engine`).  Entry point:
+:func:`~repro.fleet.engine.run_fleet` / the ``repro fleet`` CLI.
+"""
+
+from .cell import CellLoadAccumulator, ContentionField
+from .engine import (
+    HIST_METRICS,
+    METRICS,
+    SESSION_CHUNK,
+    CohortAggregate,
+    FleetResult,
+    run_fleet,
+)
+from .population import (
+    DeviceClass,
+    LognormalComponent,
+    PopulationModel,
+    PopulationSpec,
+    RegionSpec,
+    SessionChunk,
+    default_population,
+)
+from .sketches import (
+    HistogramSketch,
+    ReservoirSample,
+    StreamingMoments,
+    hash_u01_array,
+    hash_u64_array,
+)
+from .surrogate import (
+    CalibEntry,
+    FleetCalibration,
+    calibrate,
+    load_or_calibrate,
+)
+
+__all__ = [
+    "HIST_METRICS",
+    "METRICS",
+    "SESSION_CHUNK",
+    "CalibEntry",
+    "CellLoadAccumulator",
+    "CohortAggregate",
+    "ContentionField",
+    "DeviceClass",
+    "FleetCalibration",
+    "FleetResult",
+    "HistogramSketch",
+    "LognormalComponent",
+    "PopulationModel",
+    "PopulationSpec",
+    "RegionSpec",
+    "ReservoirSample",
+    "SessionChunk",
+    "StreamingMoments",
+    "calibrate",
+    "default_population",
+    "hash_u01_array",
+    "hash_u64_array",
+    "load_or_calibrate",
+    "run_fleet",
+]

@@ -1,0 +1,127 @@
+"""Cell-level shared-bandwidth contention for fleet runs.
+
+Private per-session bandwidth traces overstate what a dense cell can
+deliver: concurrent sessions in the same cell share its backhaul.  The
+fleet engine models that with a mean-field, epoch-granular load field:
+
+1. **Accumulate** — every session adds its offered demand (private
+   bandwidth capped at the top ladder rung) to its cell for the epochs
+   it is active.  The per-cell time series is built with the
+   cumulative-difference trick (add at the start epoch, subtract after
+   the end epoch, prefix-sum once), so cost is O(1) per session and
+   the field is O(cells x epochs) regardless of population size.
+2. **Finalize** — each (cell, epoch) gets a throttle factor
+   ``min(1, capacity / load)``; a prefix sum over epochs then lets any
+   session read its *mean* factor over its own active window in O(1).
+
+Demand is quantized to integer bytes/s before accumulation.  Integer
+addition is exactly associative and commutative, so shards can
+accumulate partial fields in any order and merge to a bit-identical
+result — the same exactness contract as :mod:`repro.fleet.sketches`.
+
+This is a one-iteration mean-field model: demand is the *offered* load
+(pre-contention), not the post-throttle equilibrium.  That
+overestimates load in saturated cells, i.e. contention effects are
+conservative (never understated) — the right bias for capacity
+planning, and stated in MODEL.md section 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..errors import FleetError
+from .population import PopulationSpec, SessionChunk
+
+
+def _flat_cell(spec_offsets: np.ndarray, chunk: SessionChunk) -> np.ndarray:
+    return spec_offsets[chunk.region] + chunk.cell
+
+
+def _epoch_range(spec: PopulationSpec,
+                 chunk: SessionChunk) -> Dict[str, np.ndarray]:
+    """First and last (inclusive) active epoch per session."""
+    first = np.floor(chunk.start_seconds
+                     / spec.epoch_seconds).astype(np.int64)
+    last = np.floor((chunk.start_seconds + chunk.duration_seconds)
+                    / spec.epoch_seconds).astype(np.int64)
+    last = np.minimum(last, spec.epoch_count - 1)
+    return {"first": first, "last": last}
+
+
+class CellLoadAccumulator:
+    """Pass-1 state: integer demand differences per (cell, epoch)."""
+
+    def __init__(self, spec: PopulationSpec) -> None:
+        self.spec = spec
+        offsets = np.zeros(len(spec.regions), dtype=np.int64)
+        offsets[1:] = np.cumsum([r.cells for r in spec.regions])[:-1]
+        self._offsets = offsets
+        # One extra epoch column so the subtract-after-end marker of a
+        # session ending in the last epoch has somewhere to land.
+        self._diff = np.zeros(
+            (spec.total_cells, spec.epoch_count + 1), dtype=np.int64)
+
+    def accumulate(self, chunk: SessionChunk) -> None:
+        """Add a chunk's offered demand to the load field."""
+        spec = self.spec
+        top_rung = spec.ladder[-1]
+        demand = np.rint(
+            np.minimum(chunk.bandwidth, top_rung)).astype(np.int64)
+        cells = _flat_cell(self._offsets, chunk)
+        span = _epoch_range(spec, chunk)
+        np.add.at(self._diff, (cells, span["first"]), demand)
+        np.add.at(self._diff, (cells, span["last"] + 1), -demand)
+
+    def merge(self, other: "CellLoadAccumulator") -> None:
+        """Exact in-place merge of another shard's partial field."""
+        if self._diff.shape != other._diff.shape:
+            raise FleetError("cannot merge load fields of different "
+                             "shapes (specs differ)")
+        self._diff += other._diff
+
+    def finalize(self) -> "ContentionField":
+        """Prefix-sum the differences into per-epoch throttle factors."""
+        spec = self.spec
+        load = np.cumsum(self._diff[:, :-1], axis=1).astype(np.float64)
+        capacity = np.concatenate([
+            np.full(r.cells, r.cell_capacity) for r in spec.regions])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            factor = np.where(load > capacity[:, None],
+                              capacity[:, None] / load, 1.0)
+        saturated = int(np.count_nonzero(load > capacity[:, None]))
+        prefix = np.zeros((factor.shape[0], factor.shape[1] + 1),
+                          dtype=np.float64)
+        np.cumsum(factor, axis=1, out=prefix[:, 1:])
+        return ContentionField(spec=spec, offsets=self._offsets,
+                               factor_prefix=prefix,
+                               saturated_cell_epochs=saturated,
+                               peak_load=float(load.max(initial=0.0)))
+
+
+@dataclass
+class ContentionField:
+    """Finalized throttle factors, queryable per session in O(1)."""
+
+    spec: PopulationSpec
+    offsets: np.ndarray
+    factor_prefix: np.ndarray  # (cells, epochs+1) cumulative factors
+    saturated_cell_epochs: int
+    peak_load: float  # bytes/s, worst single (cell, epoch)
+
+    def mean_factor(self, chunk: SessionChunk) -> np.ndarray:
+        """Mean throttle factor over each session's active window.
+
+        A pure lookup into the globally finalized field, so the result
+        is independent of which shard asks.
+        """
+        cells = _flat_cell(self.offsets, chunk)
+        span = _epoch_range(self.spec, chunk)
+        first, last = span["first"], span["last"]
+        window = (last + 1 - first).astype(np.float64)
+        summed = (self.factor_prefix[cells, last + 1]
+                  - self.factor_prefix[cells, first])
+        return summed / window

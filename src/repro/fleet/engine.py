@@ -1,0 +1,434 @@
+"""The streaming population engine: 1M+ sessions in bounded memory.
+
+``run_fleet`` advances every session at *flow* granularity: the
+calibrated surrogate (:mod:`repro.fleet.surrogate`) prices decode
+energy per frame, and an analytic radio/ABR model derived from
+:class:`~repro.config.RadioConfig` prices delivery — no per-frame loop
+per user.  Execution is chunked and two-pass:
+
+* **Pass 1** (only with contention): stream the population through the
+  :class:`~repro.fleet.cell.CellLoadAccumulator` to build the shared-
+  bandwidth throttle field.
+* **Pass 2**: stream the population again, score each chunk
+  vectorized, and fold the metrics into per-cohort online aggregates
+  (:mod:`repro.fleet.sketches`).
+
+Working memory is O(chunk + cells x epochs + cohorts) — independent of
+the session count — because the stateless
+:class:`~repro.fleet.population.PopulationModel` can re-draw any chunk
+on demand instead of keeping sessions alive between passes.
+
+Sharding is a *determinism contract*, not just a speed knob: shards
+process disjoint chunk stripes and their partial aggregates merge
+exactly (integer state everywhere), so ``shards=1`` and ``shards=64``
+produce bit-identical :class:`FleetResult` JSON.  The satellite
+hypothesis tests pin that property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis import format_table
+from ..analysis.ascii_plot import sparkline
+from ..config import SimulationConfig
+from ..errors import FleetError
+from .cell import CellLoadAccumulator, ContentionField
+from .population import PopulationModel, PopulationSpec, SessionChunk
+from .sketches import HistogramSketch, ReservoirSample, StreamingMoments
+from .surrogate import FleetCalibration, calibrate
+
+#: Sessions per streamed chunk.  Fixed (not tunable per run) because
+#: per-chunk float reductions inside the sketches are only guaranteed
+#: identical for identical chunk boundaries.
+SESSION_CHUNK = 8192
+
+#: Per-session metrics tracked by every cohort (canonical units).
+METRICS: Tuple[str, ...] = (
+    "total_energy", "play_energy", "radio_energy", "stall_seconds",
+    "startup_seconds", "throttle_seconds", "contention_factor",
+)
+#: Metrics that additionally keep a quantile sketch.
+HIST_METRICS: Tuple[str, ...] = ("total_energy", "stall_seconds")
+
+#: Effective-bandwidth floor (bytes/s): below this a link is dead air,
+#: and unbounded stall times would swamp the quantized aggregates.
+BANDWIDTH_FLOOR = 10_000.0
+
+
+@dataclass
+class CohortAggregate:
+    """Bounded-memory summary of one cohort's session metrics."""
+
+    key: str
+    moments: Dict[str, StreamingMoments]
+    hists: Dict[str, HistogramSketch]
+    sample: ReservoirSample
+
+    @classmethod
+    def empty(cls, key: str, seed: int) -> "CohortAggregate":
+        """A fresh, zero-session aggregate for ``key``."""
+        return cls(
+            key=key,
+            moments={m: StreamingMoments() for m in METRICS},
+            hists={m: HistogramSketch() for m in HIST_METRICS},
+            sample=ReservoirSample(seed=seed),
+        )
+
+    @property
+    def count(self) -> int:
+        return self.moments["total_energy"].count
+
+    def add_chunk(self, uids: np.ndarray,
+                  metrics: Dict[str, np.ndarray],
+                  mask: Optional[np.ndarray] = None) -> None:
+        """Fold (a masked view of) one chunk's metrics in."""
+        if mask is not None:
+            if not mask.any():
+                return
+            uids = uids[mask]
+        for name in METRICS:
+            values = metrics[name] if mask is None else metrics[name][mask]
+            self.moments[name].add_array(values)
+            if name in self.hists:
+                self.hists[name].add_array(values)
+        total = (metrics["total_energy"] if mask is None
+                 else metrics["total_energy"][mask])
+        self.sample.offer_array(uids, total)
+
+    def merge(self, other: "CohortAggregate") -> "CohortAggregate":
+        """Exact merge of another shard's partial for the same cohort."""
+        if self.key != other.key:
+            raise FleetError(
+                f"cannot merge cohort {other.key!r} into {self.key!r}")
+        return CohortAggregate(
+            key=self.key,
+            moments={m: self.moments[m].merge(other.moments[m])
+                     for m in METRICS},
+            hists={m: self.hists[m].merge(other.hists[m])
+                   for m in HIST_METRICS},
+            sample=self.sample.merge(other.sample),
+        )
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """Lossless plain-data form."""
+        return {
+            "key": self.key,
+            "moments": {m: s.to_jsonable()
+                        for m, s in self.moments.items()},
+            "hists": {m: h.to_jsonable() for m, h in self.hists.items()},
+            "sample": self.sample.to_jsonable(),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "CohortAggregate":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            key=str(data["key"]),
+            moments={m: StreamingMoments.from_jsonable(s)
+                     for m, s in data["moments"].items()},  # type: ignore[union-attr]
+            hists={m: HistogramSketch.from_jsonable(h)
+                   for m, h in data["hists"].items()},  # type: ignore[union-attr]
+            sample=ReservoirSample.from_jsonable(
+                data["sample"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class FleetResult:
+    """Cohort distributions for one fleet run.
+
+    Everything here is shard-layout independent by construction; two
+    runs of the same ``(spec, n_sessions, seed, contention)`` agree on
+    :meth:`to_jsonable` bit-for-bit whatever ``shards`` was.
+    """
+
+    spec_fingerprint: str
+    n_sessions: int
+    seed: int
+    contention: bool
+    cohorts: Dict[str, CohortAggregate]
+    saturated_cell_epochs: int
+    peak_cell_load: float  # bytes/s, worst single (cell, epoch)
+
+    def cohort(self, key: str) -> CohortAggregate:
+        """Look up one cohort ("fleet", "device:...", ...)."""
+        try:
+            return self.cohorts[key]
+        except KeyError:
+            raise FleetError(f"unknown cohort {key!r}; known: "
+                             f"{sorted(self.cohorts)}") from None
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """Lossless plain-data form (the ``--json`` report)."""
+        return {
+            "spec_fingerprint": self.spec_fingerprint,
+            "n_sessions": self.n_sessions,
+            "seed": self.seed,
+            "contention": self.contention,
+            "cohorts": {key: cohort.to_jsonable()
+                        for key, cohort in sorted(self.cohorts.items())},
+            "saturated_cell_epochs": self.saturated_cell_epochs,
+            "peak_cell_load": self.peak_cell_load,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "FleetResult":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            spec_fingerprint=str(data["spec_fingerprint"]),
+            n_sessions=int(data["n_sessions"]),  # type: ignore[arg-type]
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            contention=bool(data["contention"]),
+            cohorts={key: CohortAggregate.from_jsonable(cohort)
+                     for key, cohort
+                     in data["cohorts"].items()},  # type: ignore[union-attr]
+            saturated_cell_epochs=int(
+                data["saturated_cell_epochs"]),  # type: ignore[arg-type]
+            peak_cell_load=float(
+                data["peak_cell_load"]),  # type: ignore[arg-type]
+        )
+
+    def report(self) -> str:
+        """Human-readable cohort tables plus an energy sparkline."""
+        rows: List[List[object]] = []
+        for key in sorted(self.cohorts):
+            cohort = self.cohorts[key]
+            energy = cohort.moments["total_energy"]
+            stall = cohort.moments["stall_seconds"]
+            startup = cohort.moments["startup_seconds"]
+            factor = cohort.moments["contention_factor"]
+            rows.append([
+                key, cohort.count,
+                energy.mean, energy.std,
+                cohort.hists["total_energy"].quantile(0.5),
+                cohort.hists["total_energy"].quantile(0.95),
+                stall.mean,
+                cohort.hists["stall_seconds"].quantile(0.95),
+                startup.mean,
+                factor.mean,
+            ])
+        lines = [format_table(
+            ["cohort", "sessions", "mean J", "std J", "p50 J",
+             "p95 J", "stall s", "p95 stall", "startup s", "bw factor"],
+            rows,
+            title=f"fleet of {self.n_sessions} sessions "
+                  f"(spec {self.spec_fingerprint}, seed {self.seed}, "
+                  f"contention={'on' if self.contention else 'off'})")]
+        hist = self.cohorts["fleet"].hists["total_energy"]
+        span = hist.nonzero_span()
+        if span:
+            first, last = span
+            counts = hist.counts[1 + first:2 + last].astype(np.float64)
+            lo = 10.0 ** (hist.lo_exp + first / hist.bins_per_decade)
+            hi = 10.0 ** (hist.lo_exp + (last + 1) / hist.bins_per_decade)
+            lines.append(f"\nsession energy distribution "
+                         f"[{lo:.3g} J .. {hi:.3g} J, log scale]:")
+            lines.append("  " + sparkline(counts))
+        if self.contention:
+            lines.append(f"\ncontention: {self.saturated_cell_epochs} "
+                         f"saturated cell-epochs, peak offered load "
+                         f"{self.peak_cell_load:.3g} bytes/s per cell")
+        return "\n".join(lines)
+
+
+def _cohort_masks(spec: PopulationSpec, chunk: SessionChunk
+                  ) -> Sequence[Tuple[str, Optional[np.ndarray]]]:
+    """(cohort key, mask) pairs for one chunk; None = all sessions."""
+    pairs: List[Tuple[str, Optional[np.ndarray]]] = [("fleet", None)]
+    for d_idx, device in enumerate(spec.device_classes):
+        pairs.append((f"device:{device.name}", chunk.device == d_idx))
+    for r_idx, region in enumerate(spec.regions):
+        pairs.append((f"region:{region.name}", chunk.region == r_idx))
+    for t_idx, title in enumerate(spec.titles):
+        pairs.append((f"title:{title}", chunk.title == t_idx))
+    return pairs
+
+
+def _score_chunk(spec: PopulationSpec, chunk: SessionChunk,
+                 factor: np.ndarray,
+                 tables: Dict[str, np.ndarray],
+                 fps: float) -> Dict[str, np.ndarray]:
+    """Vectorized flow-level session model for one chunk.
+
+    Sessions pick the highest ladder rung that fits ``abr_safety`` of
+    their (contention-throttled) bandwidth; below the bottom rung the
+    deficit surfaces as mid-stream stalls.  The radio follows the
+    burst-download cycle implied by the buffer/watermark geometry:
+    races at ``active_power``, rides the tail, and demotes to idle
+    with a paid promotion when the drain gap is long enough.
+    """
+    radio = spec.radio
+    ladder = np.asarray(spec.ladder, dtype=np.float64)
+    duration = chunk.duration_seconds
+    bw_eff = np.maximum(chunk.bandwidth * factor, BANDWIDTH_FLOOR)
+
+    rung = np.searchsorted(ladder, spec.abr_safety * bw_eff,
+                           side="right") - 1
+    rung = np.clip(rung, 0, ladder.size - 1)
+    rate = ladder[rung]
+
+    # Mid-stream stalls: playing 1 s of bottom-rung content over a
+    # slower link takes ladder[0]/bw_eff wall seconds.
+    stall = duration * np.maximum(ladder[0] / bw_eff - 1.0, 0.0)
+    startup = (radio.promotion_latency
+               + spec.preroll_seconds * rate / bw_eff)
+
+    frames = np.rint(duration * fps)
+    epf = tables["energy_per_frame"][chunk.device, chunk.title]
+    play_energy = epf * frames
+    stall_energy = stall * tables["stall_power"][chunk.device]
+    throttle = (tables["throttle_fraction"][chunk.device, chunk.title]
+                * duration)
+
+    # Burst-mode radio: refill cycles sized by the buffer span.
+    total_bytes = duration * rate
+    active_seconds = total_bytes / bw_eff
+    cycle_span = max(spec.buffer_seconds - spec.watermark_seconds,
+                     spec.epoch_seconds)
+    n_cycles = np.ceil(duration / cycle_span)
+    burst_wall = cycle_span * rate / bw_eff
+    gap = np.maximum(cycle_span - burst_wall, 0.0)
+    demotes = gap > (radio.tail_seconds + radio.promotion_latency)
+    cycle_overhead = np.where(
+        demotes,
+        radio.tail_seconds * radio.tail_power
+        + (gap - radio.tail_seconds) * radio.idle_power
+        + radio.promotion_energy,
+        gap * radio.tail_power)
+    radio_energy = (active_seconds * radio.active_power
+                    + n_cycles * cycle_overhead
+                    + radio.promotion_energy)
+
+    total = play_energy + stall_energy + radio_energy
+    return {
+        "total_energy": total,
+        "play_energy": play_energy,
+        "radio_energy": radio_energy,
+        "stall_seconds": stall,
+        "startup_seconds": startup,
+        "throttle_seconds": throttle,
+        "contention_factor": factor,
+    }
+
+
+def _chunk_bounds(n_sessions: int) -> List[Tuple[int, int]]:
+    """(start, count) per chunk, fixed SESSION_CHUNK stride."""
+    bounds = []
+    for start in range(0, n_sessions, SESSION_CHUNK):
+        bounds.append((start, min(SESSION_CHUNK, n_sessions - start)))
+    return bounds
+
+
+def _stripes(n_chunks: int, shards: int) -> List[range]:
+    """Contiguous chunk stripes, one per shard (some may be empty)."""
+    base, extra = divmod(n_chunks, shards)
+    stripes = []
+    lo = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        stripes.append(range(lo, lo + size))
+        lo += size
+    return stripes
+
+
+def run_fleet(spec: PopulationSpec, n_sessions: int, seed: int = 0,
+              shards: int = 1, contention: bool = True,
+              calibration: Optional[FleetCalibration] = None,
+              config: Optional[SimulationConfig] = None,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> FleetResult:
+    """Simulate ``n_sessions`` drawn from ``spec`` in bounded memory.
+
+    Args:
+        spec: the declarative population.
+        n_sessions: how many sessions to draw and score.
+        seed: population seed (calibration has its own, in the spec).
+        shards: how many chunk stripes to fold independently before
+            the exact merge — the result is bit-identical for any
+            value, so use whatever matches the execution environment.
+        contention: share cell bandwidth (True) or give every session
+            its private drawn trace (False).
+        calibration: a pre-built coefficient table (e.g. from
+            :func:`~repro.fleet.surrogate.load_or_calibrate`); must
+            match ``spec``'s fingerprint.  Calibrated on the fly when
+            omitted.
+        config: base :class:`SimulationConfig` for on-the-fly
+            calibration.
+        progress: optional callable for status lines.
+
+    Returns:
+        A :class:`FleetResult` of per-cohort online aggregates.
+    """
+    if n_sessions < 1:
+        raise FleetError("need at least one session")
+    if shards < 1:
+        raise FleetError("need at least one shard")
+    if calibration is None:
+        calibration = calibrate(spec, config=config, progress=progress)
+    if calibration.fingerprint != spec.fingerprint():
+        raise FleetError(
+            "calibration fingerprint does not match the population "
+            "spec — rebuild it with load_or_calibrate/calibrate")
+    tables = calibration.coefficient_arrays(spec)
+    fps = (config or SimulationConfig()).video.fps
+    model = PopulationModel(spec, seed)
+    bounds = _chunk_bounds(n_sessions)
+    stripes = _stripes(len(bounds), shards)
+
+    field: Optional[ContentionField] = None
+    if contention:
+        if progress is not None:
+            progress(f"pass 1/2: cell load over {len(bounds)} chunks")
+        merged_load: Optional[CellLoadAccumulator] = None
+        for stripe in stripes:
+            accumulator = CellLoadAccumulator(spec)
+            for chunk_index in stripe:
+                start, count = bounds[chunk_index]
+                accumulator.accumulate(model.draw_chunk(start, count))
+            if merged_load is None:
+                merged_load = accumulator
+            else:
+                merged_load.merge(accumulator)
+        assert merged_load is not None
+        field = merged_load.finalize()
+
+    if progress is not None:
+        progress(f"pass 2/2: scoring {n_sessions} sessions "
+                 f"({shards} shard{'s' if shards > 1 else ''})")
+    cohort_keys = (["fleet"]
+                   + [f"device:{d.name}" for d in spec.device_classes]
+                   + [f"region:{r.name}" for r in spec.regions]
+                   + [f"title:{t}" for t in spec.titles])
+    merged: Optional[Dict[str, CohortAggregate]] = None
+    for stripe in stripes:
+        partial = {key: CohortAggregate.empty(key, seed)
+                   for key in cohort_keys}
+        for chunk_index in stripe:
+            start, count = bounds[chunk_index]
+            chunk = model.draw_chunk(start, count)
+            factor = (field.mean_factor(chunk) if field is not None
+                      else np.ones(count, dtype=np.float64))
+            metrics = _score_chunk(spec, chunk, factor, tables, fps)
+            for key, mask in _cohort_masks(spec, chunk):
+                partial[key].add_chunk(chunk.uid, metrics, mask)
+        if merged is None:
+            merged = partial
+        else:
+            merged = {key: merged[key].merge(partial[key])
+                      for key in cohort_keys}
+    assert merged is not None
+
+    return FleetResult(
+        spec_fingerprint=spec.fingerprint(),
+        n_sessions=n_sessions,
+        seed=seed,
+        contention=contention,
+        cohorts=merged,
+        saturated_cell_epochs=(field.saturated_cell_epochs
+                               if field is not None else 0),
+        peak_cell_load=(field.peak_load if field is not None else 0.0),
+    )

@@ -324,6 +324,91 @@ def validate_against_paper(
     add("checkpoint-resumed matrix bit-identical to uninterrupted",
         "yes", float(identical), identical)
 
+    # --- fleet: flow-level population engine ------------------------------
+    report("fleet")
+    from .fleet import (
+        DeviceClass,
+        LognormalComponent,
+        PopulationSpec,
+        RegionSpec,
+        calibrate,
+        run_fleet,
+    )
+    from .units import MBPS
+
+    # A population whose every session plays exactly the calibration
+    # frame count (zero duration spread) on an unconstrained link, so
+    # the surrogate's per-title play energy is structurally the exact
+    # pipeline's — any gap is the streaming aggregation itself.
+    fleet_frames = min(frames, 32)
+    fleet_titles = ("V1", "V8")
+    pinned = fleet_frames / cfg.video.fps
+    fleet_spec = PopulationSpec(
+        device_classes=(DeviceClass(name="ref", scheme="gab"),),
+        regions=(RegionSpec(
+            name="dense", cells=3, cell_capacity=10 * MBPS,
+            bandwidth=(LognormalComponent(median=8 * MBPS, sigma=0.3),),
+        ),),
+        titles=fleet_titles,
+        zipf_exponent=0.9,
+        duration_median_seconds=pinned,
+        duration_sigma=0.0,
+        duration_min_seconds=pinned / 2,
+        duration_max_seconds=pinned * 2,
+        arrival_window_seconds=2.0,
+        epoch_seconds=0.5,
+        calib_frames=fleet_frames,
+        calib_seed=seed,
+    )
+    device_cfg = fleet_spec.device_classes[0].to_simulation_config(cfg)
+    fleet_calib = calibrate(fleet_spec, config=cfg)
+
+    # 1. Fleet online aggregates vs the exact matrix: the streamed
+    #    per-title (and overall) mean play energy must match the
+    #    run_matrix figures within the aggregation quantum.
+    matrix = run_matrix(videos=list(fleet_titles), schemes=(GAB,),
+                        n_frames=fleet_frames, seed=seed,
+                        config=device_cfg, processes=1)
+    exact = {video: matrix[(video, GAB.name)].energy.total
+             for video in fleet_titles}
+    surrogate_run = run_fleet(fleet_spec, 5000, seed=seed, shards=3,
+                              contention=False,
+                              calibration=fleet_calib, config=cfg)
+    errors = []
+    weighted = 0.0
+    for title in fleet_titles:
+        cohort = surrogate_run.cohort(f"title:{title}")
+        measured_mean = cohort.moments["play_energy"].mean
+        errors.append(abs(measured_mean - exact[title]) / exact[title])
+        weighted += cohort.count * exact[title]
+    fleet_mean = surrogate_run.cohort("fleet").moments["play_energy"].mean
+    weighted /= surrogate_run.n_sessions
+    errors.append(abs(fleet_mean - weighted) / weighted)
+    worst = max(errors)
+    add("fleet online aggregates match exact run_matrix energies",
+        "<0.5% relative", worst, worst < 5e-3)
+
+    # 2. Shared cells must price congestion: at equal population the
+    #    cell-contention fleet dominates the private-trace fleet in
+    #    both stalls and energy (stall power + stretched radio windows).
+    contended = run_fleet(fleet_spec, 5000, seed=seed, shards=2,
+                          contention=True,
+                          calibration=fleet_calib, config=cfg)
+    private = run_fleet(fleet_spec, 5000, seed=seed, shards=2,
+                        contention=False,
+                        calibration=fleet_calib, config=cfg)
+    contended_fleet = contended.cohort("fleet")
+    private_fleet = private.cohort("fleet")
+    energy_ratio = (contended_fleet.moments["total_energy"].mean
+                    / private_fleet.moments["total_energy"].mean)
+    stall_gap = (contended_fleet.moments["stall_seconds"].mean
+                 - private_fleet.moments["stall_seconds"].mean)
+    dominates = (contended.saturated_cell_epochs > 0
+                 and energy_ratio > 1.0
+                 and stall_gap > 0.0)
+    add("cell-contention fleet dominates private-trace fleet",
+        ">1.0x energy, more stalls", energy_ratio, dominates)
+
     return checks
 
 

@@ -162,7 +162,12 @@ class SequenceEncoder:
         return EncodedFrame(FrameType.B, writer.getvalue(), width, height,
                             writer.bit_length, intra, inter, skip)
 
-    def _choose_b_mode(self, block, past, future, top, left):
+    def _choose_b_mode(
+            self, block: np.ndarray, past: np.ndarray, future: np.ndarray,
+            top: int, left: int,
+    ) -> Tuple[int, Tuple[Optional[Tuple[int, int]],
+                          Optional[Tuple[int, int]]],
+               Optional[np.ndarray]]:
         """Pick the cheapest predictor for one macroblock."""
         fwd_mv = diamond_search(past, block, top, left, self.search_range)
         bwd_mv = diamond_search(future, block, top, left, self.search_range)
@@ -171,7 +176,7 @@ class SequenceEncoder:
         bi = ((fwd.astype(np.uint16) + bwd.astype(np.uint16) + 1)
               // 2).astype(np.uint8)
 
-        def sad(predictor):
+        def sad(predictor: np.ndarray) -> int:
             return int(np.abs(block.astype(np.int32)
                               - predictor.astype(np.int32)).sum())
 
@@ -224,7 +229,8 @@ class SequenceDecoder:
                     self._decode_b_macroblock(reader, table, top, left))
         return image
 
-    def _decode_b_macroblock(self, reader, table, top, left):
+    def _decode_b_macroblock(self, reader: BitReader, table: np.ndarray,
+                             top: int, left: int) -> np.ndarray:
         past, future = self._past, self._future
         mode = reader.read_ue()
         if mode == _MODE_SKIP:
@@ -253,7 +259,7 @@ class SequenceDecoder:
         return _clip_to_u8(predictor + residual)
 
     @staticmethod
-    def _read_residual(reader, table):
+    def _read_residual(reader: BitReader, table: np.ndarray) -> np.ndarray:
         from .dct import idct2
         recon = np.empty((MACROBLOCK, MACROBLOCK), dtype=np.float64)
         size = 8

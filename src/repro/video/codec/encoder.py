@@ -17,7 +17,7 @@ bit-identical over arbitrarily long sequences.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -113,7 +113,8 @@ class Encoder:
                 f"frame {image.shape} must divide into {MACROBLOCK}px macroblocks")
         return image
 
-    def _encode_intra(self, image: np.ndarray):
+    def _encode_intra(
+            self, image: np.ndarray) -> Tuple[EncodedFrame, np.ndarray]:
         height, width = image.shape
         writer = BitWriter()
         self._write_header(writer, FrameType.I, width, height)
@@ -130,7 +131,8 @@ class Encoder:
                                writer.bit_length, mabs, 0, 0)
         return encoded, reconstructed
 
-    def _encode_inter(self, image: np.ndarray):
+    def _encode_inter(
+            self, image: np.ndarray) -> Tuple[EncodedFrame, np.ndarray]:
         assert self._reference is not None
         reference = self._reference
         height, width = image.shape

@@ -1,0 +1,393 @@
+"""Tests for repro.fleet — population engine, sketches, surrogate.
+
+The load-bearing properties here are the determinism contracts: the
+online aggregates must be *exactly* mergeable (any shard layout or
+merge tree produces bit-identical JSON), and the population draws must
+be pure functions of (seed, uid) so re-sharding never changes who the
+fleet is.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, FleetError
+from repro.fleet import (
+    DeviceClass,
+    FleetCalibration,
+    FleetResult,
+    HistogramSketch,
+    LognormalComponent,
+    PopulationModel,
+    PopulationSpec,
+    RegionSpec,
+    ReservoirSample,
+    StreamingMoments,
+    calibrate,
+    default_population,
+    hash_u01_array,
+    hash_u64_array,
+    load_or_calibrate,
+    run_fleet,
+)
+from repro.units import MBPS
+
+finite_values = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4,
+              allow_nan=False, allow_infinity=False),
+    max_size=120)
+positive_values = st.lists(
+    st.floats(min_value=1e-7, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    max_size=120)
+
+
+def tiny_spec(seed: int = 3) -> PopulationSpec:
+    """A 2-title, 1-device population cheap enough for unit tests."""
+    return PopulationSpec(
+        device_classes=(DeviceClass(name="ref", scheme="gab"),),
+        regions=(RegionSpec(
+            name="town", cells=2, cell_capacity=6 * MBPS,
+            bandwidth=(LognormalComponent(median=5 * MBPS, sigma=0.4),),
+        ),),
+        titles=("V1", "V8"),
+        duration_median_seconds=8.0,
+        duration_sigma=0.3,
+        duration_min_seconds=4.0,
+        duration_max_seconds=20.0,
+        arrival_window_seconds=30.0,
+        epoch_seconds=2.0,
+        calib_frames=16,
+        calib_seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def spec() -> PopulationSpec:
+    return tiny_spec()
+
+
+@pytest.fixture(scope="module")
+def calib(spec: PopulationSpec) -> FleetCalibration:
+    return calibrate(spec)
+
+
+class TestStreamingMoments:
+    @given(finite_values, st.integers(0, 120))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_matches_serial_fold(self, values, cut):
+        cut = min(cut, len(values))
+        serial = StreamingMoments()
+        serial.add_array(np.asarray(values))
+        left, right = StreamingMoments(), StreamingMoments()
+        left.add_array(np.asarray(values[:cut]))
+        right.add_array(np.asarray(values[cut:]))
+        assert left.merge(right).to_jsonable() == serial.to_jsonable()
+        assert right.merge(left).to_jsonable() == serial.to_jsonable()
+
+    @given(finite_values, finite_values, finite_values)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associative(self, a_vals, b_vals, c_vals):
+        a, b, c = (StreamingMoments() for _ in range(3))
+        a.add_array(np.asarray(a_vals))
+        b.add_array(np.asarray(b_vals))
+        c.add_array(np.asarray(c_vals))
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.to_jsonable() == right.to_jsonable()
+
+    def test_statistics_against_numpy(self):
+        rng = np.random.default_rng(11)
+        values = rng.normal(50.0, 7.0, size=4000)
+        moments = StreamingMoments()
+        moments.add_array(values)
+        assert moments.count == values.size
+        assert moments.mean == pytest.approx(values.mean(), abs=1e-3)
+        assert moments.std == pytest.approx(values.std(), rel=1e-3)
+        assert moments.minimum == pytest.approx(values.min(), abs=1e-3)
+        assert moments.maximum == pytest.approx(values.max(), abs=1e-3)
+
+    def test_empty_summary(self):
+        empty = StreamingMoments()
+        assert empty.count == 0
+        assert empty.mean == 0.0
+        assert empty.variance == 0.0
+
+    def test_quantum_mismatch_rejected(self):
+        with pytest.raises(FleetError):
+            StreamingMoments(quantum=1e-3).merge(
+                StreamingMoments(quantum=1e-2))
+
+    @given(finite_values)
+    @settings(max_examples=25, deadline=None)
+    def test_json_round_trip(self, values):
+        moments = StreamingMoments()
+        moments.add_array(np.asarray(values))
+        data = json.loads(json.dumps(moments.to_jsonable()))
+        assert StreamingMoments.from_jsonable(
+            data).to_jsonable() == moments.to_jsonable()
+
+
+class TestHistogramSketch:
+    @given(positive_values, st.integers(0, 120))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_matches_serial_fold(self, values, cut):
+        cut = min(cut, len(values))
+        serial = HistogramSketch()
+        serial.add_array(np.asarray(values))
+        left, right = HistogramSketch(), HistogramSketch()
+        left.add_array(np.asarray(values[:cut]))
+        right.add_array(np.asarray(values[cut:]))
+        merged = left.merge(right)
+        assert merged.to_jsonable() == serial.to_jsonable()
+        assert merged.total == len(values)
+
+    def test_quantile_bounds(self):
+        hist = HistogramSketch()
+        values = np.geomspace(0.01, 100.0, 500)
+        hist.add_array(values)
+        for q, exact in ((0.5, np.quantile(values, 0.5)),
+                         (0.95, np.quantile(values, 0.95))):
+            measured = hist.quantile(q)
+            assert measured == pytest.approx(exact, rel=0.08)
+        assert hist.quantile(0.0) <= hist.quantile(1.0)
+
+    def test_out_of_range_values_counted(self):
+        hist = HistogramSketch()
+        hist.add_array(np.asarray([0.0, -3.0, 1e-9, 1e9]))
+        assert hist.total == 4
+        assert int(hist.counts[0]) == 3  # zero, negative, below range
+        assert int(hist.counts[-1]) == 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(FleetError):
+            HistogramSketch(bins_per_decade=8).merge(HistogramSketch())
+
+    def test_json_round_trip(self):
+        hist = HistogramSketch()
+        hist.add_array(np.geomspace(0.1, 10.0, 64))
+        data = json.loads(json.dumps(hist.to_jsonable()))
+        restored = HistogramSketch.from_jsonable(data)
+        assert restored.to_jsonable() == hist.to_jsonable()
+
+
+class TestReservoirSample:
+    @given(st.lists(st.integers(0, 2**40), unique=True, max_size=150),
+           st.integers(0, 2**32), st.integers(0, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_offer_order_free(self, uids, seed, cut):
+        cut = min(cut, len(uids))
+        uid_arr = np.asarray(uids, dtype=np.int64)
+        values = uid_arr.astype(np.float64) * 0.5
+        whole = ReservoirSample(capacity=16, seed=seed)
+        whole.offer_array(uid_arr, values)
+        chunked = ReservoirSample(capacity=16, seed=seed)
+        chunked.offer_array(uid_arr[cut:], values[cut:])
+        chunked.offer_array(uid_arr[:cut], values[:cut])
+        assert chunked.to_jsonable() == whole.to_jsonable()
+
+    @given(st.lists(st.integers(0, 2**40), unique=True, max_size=150),
+           st.integers(0, 2**32), st.integers(0, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_matches_union(self, uids, seed, cut):
+        cut = min(cut, len(uids))
+        uid_arr = np.asarray(uids, dtype=np.int64)
+        values = uid_arr.astype(np.float64)
+        whole = ReservoirSample(capacity=16, seed=seed)
+        whole.offer_array(uid_arr, values)
+        left = ReservoirSample(capacity=16, seed=seed)
+        right = ReservoirSample(capacity=16, seed=seed)
+        left.offer_array(uid_arr[:cut], values[:cut])
+        right.offer_array(uid_arr[cut:], values[cut:])
+        assert left.merge(right).to_jsonable() == whole.to_jsonable()
+        assert right.merge(left).to_jsonable() == whole.to_jsonable()
+
+    def test_capacity_bound_and_determinism(self):
+        uids = np.arange(1000, dtype=np.int64)
+        values = uids.astype(np.float64)
+        first = ReservoirSample(capacity=32, seed=5)
+        second = ReservoirSample(capacity=32, seed=5)
+        first.offer_array(uids, values)
+        second.offer_array(uids, values)
+        assert len(first.uids) == 32
+        assert first.to_jsonable() == second.to_jsonable()
+        other_seed = ReservoirSample(capacity=32, seed=6)
+        other_seed.offer_array(uids, values)
+        assert other_seed.uids != first.uids
+
+    def test_seed_mismatch_rejected(self):
+        with pytest.raises(FleetError):
+            ReservoirSample(seed=1).merge(ReservoirSample(seed=2))
+
+
+class TestHashing:
+    def test_unit_interval_and_determinism(self):
+        idx = np.arange(10_000, dtype=np.int64)
+        u = hash_u01_array(9, 0x1234, idx)
+        assert np.all((u >= 0.0) & (u < 1.0))
+        assert 0.45 < u.mean() < 0.55
+        again = hash_u01_array(9, 0x1234, idx)
+        assert np.array_equal(u, again)
+
+    def test_site_and_seed_separation(self):
+        idx = np.arange(256, dtype=np.int64)
+        base = hash_u64_array(9, 0x1234, idx)
+        assert not np.array_equal(base, hash_u64_array(9, 0x1235, idx))
+        assert not np.array_equal(base, hash_u64_array(10, 0x1234, idx))
+
+
+class TestPopulation:
+    def test_chunk_draws_are_pure_per_uid(self, spec):
+        model = PopulationModel(spec, seed=21)
+        whole = model.draw_chunk(0, 600)
+        tail = model.draw_chunk(200, 400)
+        for name in ("device", "region", "cell", "title"):
+            assert np.array_equal(getattr(whole, name)[200:],
+                                  getattr(tail, name))
+        for name in ("duration_seconds", "bandwidth", "start_seconds"):
+            assert np.array_equal(getattr(whole, name)[200:],
+                                  getattr(tail, name))
+
+    def test_chunk_invariants(self, spec):
+        chunk = PopulationModel(spec, seed=4).draw_chunk(0, 2000)
+        assert chunk.device.max() < len(spec.device_classes)
+        assert chunk.title.max() < len(spec.titles)
+        assert chunk.cell.max() < spec.regions[0].cells
+        assert np.all(chunk.duration_seconds >= spec.duration_min_seconds)
+        assert np.all(chunk.duration_seconds <= spec.duration_max_seconds)
+        assert np.all(chunk.bandwidth > 0)
+        assert np.all((chunk.start_seconds >= 0)
+                      & (chunk.start_seconds < spec.arrival_window_seconds))
+
+    def test_zipf_titles_are_skewed(self):
+        spec = default_population()
+        chunk = PopulationModel(spec, seed=1).draw_chunk(0, 20_000)
+        counts = np.bincount(chunk.title, minlength=len(spec.titles))
+        assert counts[0] > counts[-1] * 1.5
+
+    def test_spec_round_trip_and_fingerprint(self, spec):
+        data = json.loads(json.dumps(spec.to_jsonable()))
+        restored = PopulationSpec.from_jsonable(data)
+        assert restored == spec
+        assert restored.fingerprint() == spec.fingerprint()
+        assert restored.fingerprint() != default_population().fingerprint()
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigError):
+            PopulationSpec(device_classes=(), regions=tiny_spec().regions)
+        with pytest.raises(ConfigError):
+            DeviceClass(name="x", scheme="warp-drive")
+        with pytest.raises(ConfigError):
+            RegionSpec(name="r", cells=0, bandwidth=(
+                LognormalComponent(median=MBPS),))
+
+
+class TestCalibration:
+    def test_covers_every_pair(self, spec, calib):
+        assert calib.fingerprint == spec.fingerprint()
+        for device in spec.device_classes:
+            for title in spec.titles:
+                entry = calib.entry(device.name, title)
+                assert entry.energy_per_frame > 0
+                assert entry.stall_power > 0
+
+    def test_missing_pair_rejected(self, calib):
+        with pytest.raises(FleetError):
+            calib.entry("ref", "V999")
+
+    def test_cache_round_trip(self, spec, calib, tmp_path):
+        path = str(tmp_path / "calib.json")
+        calib.save(path)
+        assert FleetCalibration.load(
+            path).to_jsonable() == calib.to_jsonable()
+
+    def test_cache_hit_skips_recalibration(self, spec, calib, tmp_path):
+        path = str(tmp_path / "calib.json")
+        calib.save(path)
+        log: list = []
+        loaded = load_or_calibrate(spec, path, progress=log.append)
+        assert loaded.to_jsonable() == calib.to_jsonable()
+        # one drift probe, no "calibrating ..." lines
+        assert [line for line in log if "calibrating" in line] == []
+
+    def test_corrupt_cache_rebuilt(self, spec, calib, tmp_path):
+        path = str(tmp_path / "calib.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ not json")
+        rebuilt = load_or_calibrate(spec, path, drift_check=False)
+        assert rebuilt.to_jsonable() == calib.to_jsonable()
+
+    def test_fingerprint_mismatch_rebuilt(self, spec, calib, tmp_path):
+        path = str(tmp_path / "calib.json")
+        stale = FleetCalibration(fingerprint="0" * 16,
+                                 entries=dict(calib.entries))
+        stale.save(path)
+        rebuilt = load_or_calibrate(spec, path, drift_check=False)
+        assert rebuilt.fingerprint == spec.fingerprint()
+
+
+class TestRunFleet:
+    def test_shard_count_is_invisible(self, spec, calib):
+        results = [run_fleet(spec, 700, seed=9, shards=shards,
+                             calibration=calib)
+                   for shards in (1, 3, 7)]
+        baseline = results[0].to_jsonable()
+        for other in results[1:]:
+            assert other.to_jsonable() == baseline
+
+    def test_result_round_trip(self, spec, calib):
+        result = run_fleet(spec, 400, seed=2, calibration=calib)
+        data = json.loads(json.dumps(result.to_jsonable(),
+                                     sort_keys=True))
+        restored = FleetResult.from_jsonable(data)
+        assert restored.to_jsonable() == result.to_jsonable()
+
+    def test_cohorts_partition_fleet(self, spec, calib):
+        result = run_fleet(spec, 500, seed=8, calibration=calib)
+        fleet = result.cohort("fleet")
+        assert fleet.count == 500
+        title_total = sum(result.cohort(f"title:{t}").count
+                          for t in spec.titles)
+        assert title_total == 500
+
+    def test_stale_calibration_rejected(self, spec, calib):
+        stale = FleetCalibration(fingerprint="f" * 16,
+                                 entries=dict(calib.entries))
+        with pytest.raises(FleetError):
+            run_fleet(spec, 100, calibration=stale)
+
+    def test_report_renders(self, spec, calib):
+        result = run_fleet(spec, 300, seed=1, calibration=calib)
+        report = result.report()
+        assert "fleet" in report
+        assert "title:V8" in report
+        assert "p95" in report
+
+
+class TestFleetCLI:
+    def test_end_to_end(self, spec, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = str(tmp_path / "spec.json")
+        with open(spec_path, "w", encoding="utf-8") as handle:
+            json.dump(spec.to_jsonable(), handle)
+        calib_path = str(tmp_path / "calib.json")
+        out_path = str(tmp_path / "report.json")
+        argv = ["fleet", "--spec", spec_path, "--sessions", "300",
+                "--shards", "2", "--calibration", calib_path,
+                "--json", out_path]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fleet" in out
+        with open(out_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert FleetResult.from_jsonable(payload).n_sessions == 300
+        # second run hits the calibration cache and agrees exactly
+        assert main(argv) == 0
+        with open(out_path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == payload
