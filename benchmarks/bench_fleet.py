@@ -150,7 +150,7 @@ def test_throughput_and_bounded_memory(benchmark, emit):
         ["sessions", "peak RSS MiB"],
         [[int(row["sessions"]), row["peak_rss_bytes"] / 2**20]
          for row in payload["memory_ladder"]],
-        title=f"Fleet bounded-memory ladder "
+        title="Fleet bounded-memory ladder "
               f"({throughput['sessions_per_second']:,.0f} sessions/s "
               f"at the {REFERENCE_SESSIONS:,}-session reference)"))
     _check(payload)

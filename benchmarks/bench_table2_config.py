@@ -41,7 +41,7 @@ def test_table2_configuration(benchmark, emit, config):
                  f"total {mach.total_entries} entries"],
         ["MACH buffer", f"{mach.buffer_entries} entries"],
         ["Display cache", f"{display.display_cache_bytes // 1024}KB "
-                          f"direct-mapped"],
+                          "direct-mapped"],
     ]
     emit(format_table(["parameter", "value"], rows,
                       title="Table 2: simulation configuration"))

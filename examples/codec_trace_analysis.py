@@ -61,7 +61,7 @@ def main() -> None:
         decoded.append(decoder.decode_frame(encoded.data))
     kbps = total_bits / (N_FRAMES / 60) / 1000
     print(f"   bitstream: {total_bits // 8} bytes ({kbps:.0f} kbit/s at "
-          f"60 fps)")
+          "60 fps)")
 
     print("3. capturing the decoder output as a FrameTrace")
     rgb = [np.repeat(image[:, :, None], 3, axis=2) for image in decoded]

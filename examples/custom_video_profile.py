@@ -59,12 +59,12 @@ def main() -> None:
         rows, title="Custom profiles under the paper's recipe"))
 
     slideshow, sports = rows
-    print(f"\n=> The slideshow's flat, static content plays to MACH's "
+    print("\n=> The slideshow's flat, static content plays to MACH's "
           f"strengths ({1 - slideshow[4]:.1%} energy saving); the "
-          f"grainy sports feed mostly defeats content caching "
+          "grainy sports feed mostly defeats content caching "
           f"({1 - sports[4]:.1%}), leaving Race-to-Sleep to do the "
-          f"work — exactly the content-dependence the paper's V1-vs-V3 "
-          f"spread shows.")
+          "work — exactly the content-dependence the paper's V1-vs-V3 "
+          "spread shows.")
 
 
 if __name__ == "__main__":

@@ -69,7 +69,7 @@ def main() -> None:
           f"battery on the baseline pipeline and {gab_row[6]:.1%} with "
           f"the full recipe, while drops go {base_row[5]} -> "
           f"{gab_row[5]}. Pause/rebuffer energy is scheme-independent "
-          f"— the recipe attacks the playback part.")
+          "— the recipe attacks the playback part.")
 
 
 if __name__ == "__main__":

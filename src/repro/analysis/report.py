@@ -45,5 +45,5 @@ def comparison_report(comparisons: Sequence[SchemeComparison]) -> str:
         lines.append(
             f"GAB saves {average_saving:.1%} on average "
             f"(best video: {best:.1%}); the paper reports 21 % "
-            f"average and 33 % best (V8).")
+            "average and 33 % best (V8).")
     return "\n".join(lines)

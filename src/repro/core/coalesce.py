@@ -12,16 +12,31 @@ what the sensitivity benches compare against.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 
-def sequential_lines(base: int, nbytes: int, line_bytes: int = 64) -> np.ndarray:
-    """Line addresses covering ``[base, base + nbytes)`` once each."""
-    if nbytes <= 0:
-        return np.empty(0, dtype=np.int64)
+@lru_cache(maxsize=4096)
+def _sequential_lines_cached(base: int, nbytes: int,
+                             line_bytes: int) -> np.ndarray:
     first = base // line_bytes
     last = (base + nbytes - 1) // line_bytes
-    return np.arange(first, last + 1, dtype=np.int64) * line_bytes
+    lines = np.arange(first, last + 1, dtype=np.int64) * line_bytes
+    lines.setflags(write=False)
+    return lines
+
+
+def sequential_lines(base: int, nbytes: int, line_bytes: int = 64) -> np.ndarray:
+    """Line addresses covering ``[base, base + nbytes)`` once each.
+
+    Returns a cached **read-only** array: frame layouts revisit the
+    same (base, span) pairs every buffer-pool cycle, so the arange is
+    memoized.  Callers treat the result as immutable.
+    """
+    if nbytes <= 0:
+        return np.empty(0, dtype=np.int64)
+    return _sequential_lines_cached(base, nbytes, line_bytes)
 
 
 def coalesced_stream_lines(base: int, item_bytes: int, count: int,

@@ -20,7 +20,8 @@ from __future__ import annotations
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Dict, Optional, Tuple
+from functools import cached_property
+from typing import Deque, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,6 +79,22 @@ class MachStats:
         else:
             self.none += 1
 
+    def record_batch(self, intra: int, inter: int, none: int,
+                     matched_digests: Sequence[int],
+                     matched_counts: Sequence[int]) -> None:
+        """Bulk equivalent of per-block :meth:`record` calls.
+
+        ``matched_digests`` must be ordered by first match occurrence
+        within the batch so that ``match_counter`` keeps the exact
+        insertion order the scalar loop would have produced.
+        """
+        self.intra += intra
+        self.inter += inter
+        self.none += none
+        if len(matched_digests):
+            self.match_counter.update(
+                dict(zip(matched_digests, matched_counts)))
+
     def top_match_share(self, top_n: int = 1) -> float:
         """Fraction of all matches owned by the ``top_n`` digests (Fig. 9b)."""
         matches = self.intra + self.inter
@@ -97,6 +114,20 @@ class FrozenMach:
     @property
     def entries(self) -> int:
         return len(self.table)
+
+    @cached_property
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(digests, addresses, aux)`` as aligned int64 arrays.
+
+        Computed lazily from ``table`` (the batched write path seeds it
+        directly from the arrays it already holds).
+        """
+        count = len(self.table)
+        dig = np.fromiter(self.table.keys(), dtype=np.int64, count=count)
+        vals = np.fromiter(
+            (v for entry in self.table.values() for v in entry),
+            dtype=np.int64, count=2 * count).reshape(count, 2)
+        return dig, vals[:, 0].copy(), vals[:, 1].copy()
 
 
 class FrameMach:
@@ -199,10 +230,15 @@ class MachRing:
         self.stats = MachStats()
         self._current: Optional[FrameMach] = None
         self._frozen: Deque[FrozenMach] = deque(maxlen=max(config.num_machs - 1, 0))
+        self._batch_view: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
-    def begin_frame(self, frame_index: int) -> None:
+    def ensure_idle(self) -> None:
+        """Raise unless the previous frame's MACH was ended/ingested."""
         if self._current is not None:
             raise SchedulingError("previous frame was never ended")
+
+    def begin_frame(self, frame_index: int) -> None:
+        self.ensure_idle()
         self._current = FrameMach(self.config, frame_index, self.unbounded)
 
     def lookup(self, digest: int, aux: int = 0) -> Tuple[MatchKind, Optional[int]]:
@@ -231,8 +267,71 @@ class MachRing:
         frozen = self._require_current().freeze()
         if self._frozen.maxlen:
             self._frozen.append(frozen)
+            self._batch_view = None
         self._current = None
         return frozen
+
+    def ingest_frozen(self, frozen: FrozenMach) -> None:
+        """Rotate an externally built frame MACH into the ring.
+
+        The batched write path classifies a whole frame at once and
+        never materializes a :class:`FrameMach`; it hands the finished
+        snapshot straight to the ring.  The same begin/end scheduling
+        invariant applies.
+        """
+        self.ensure_idle()
+        if self._frozen.maxlen:
+            self._frozen.append(frozen)
+            self._batch_view = None
+
+    def lookup_batch(
+            self, digests: np.ndarray,
+            aux: np.ndarray) -> Tuple[np.ndarray, np.ndarray, bool]:
+        """Frozen-ring lookup of many digests at once, without stats.
+
+        Returns ``(found, addresses, clean)`` where ``found`` marks
+        digests resident in at least one frozen frame, ``addresses``
+        holds the match address from the *newest* such frame (the one
+        the scalar walk would return), and ``clean`` is False when any
+        consulted entry's CRC16 aux disagrees with the query's — the
+        collision paths (silent match or CO-MACH skip) that the caller
+        must replay through the scalar loop instead.
+
+        Pure: ring state and stats are untouched.
+        """
+        n = len(digests)
+        found = np.zeros(n, dtype=bool)
+        addresses = np.zeros(n, dtype=np.int64)
+        view = self._batch_view
+        if view is None:
+            parts_d, parts_a, parts_x = [], [], []
+            # Newest first, so ties on digest resolve to the newest
+            # frame after the stable argsort below.
+            for frozen in reversed(self._frozen):
+                if not frozen.table:
+                    continue
+                dig, addr, auxes = frozen.columns
+                parts_d.append(dig)
+                parts_a.append(addr)
+                parts_x.append(auxes)
+            if parts_d:
+                all_d = np.concatenate(parts_d)
+                order = np.argsort(all_d, kind="stable")
+                view = (all_d[order], np.concatenate(parts_a)[order],
+                        np.concatenate(parts_x)[order])
+            else:
+                empty = np.empty(0, dtype=np.int64)
+                view = (empty, empty, empty)
+            self._batch_view = view
+        ring_d, ring_a, ring_x = view
+        if not len(ring_d):
+            return found, addresses, True
+        pos = np.searchsorted(ring_d, digests, side="left")
+        pos = np.minimum(pos, len(ring_d) - 1)
+        found = ring_d[pos] == digests
+        addresses[found] = ring_a[pos[found]]
+        clean = bool(np.array_equal(ring_x[pos[found]], aux[found]))
+        return found, addresses, clean
 
     def _require_current(self) -> FrameMach:
         if self._current is None:

@@ -170,6 +170,7 @@ def simulate(
     use_mach_buffer: bool = True,
     buffer_policy: str = "lazy",
     network_model: Optional[FrameSource] = None,
+    vectorized: bool = True,
 ) -> RunResult:
     """Simulate playback of ``source`` under ``scheme``.
 
@@ -191,6 +192,10 @@ def simulate(
             a :class:`repro.network.DeliveredNetworkModel` to drive
             availability (and hence the Race-to-Sleep batch cap) from
             a trace-driven delivery run.
+        vectorized: use the batched SoA write-path kernel (default).
+            ``False`` forces the retained scalar per-block reference
+            everywhere — the two settings produce bit-identical
+            results, which the equivalence suite asserts.
 
     Returns:
         A :class:`RunResult` with the energy breakdown and statistics.
@@ -258,10 +263,15 @@ def simulate(
     # fallback.  The plan is a pure function of the fault seed, so a
     # faulted run is exactly as deterministic as a clean one.
     fault_plan = FaultPlan.from_config(cfg.faults)
-    writeback = WritebackEngine(video_cfg, sim_mach_cfg, scheme,
-                                cfg.dram.line_bytes,
-                                unbounded_mach=unbounded_mach,
-                                fault_plan=fault_plan)
+    # The eager MACH-buffer prefetch consumes the frozen dump's
+    # iteration order, which the batched kernel emits in recency rather
+    # than way-slot order — that one configuration keeps the scalar
+    # write path.
+    writeback = WritebackEngine(
+        video_cfg, sim_mach_cfg, scheme, cfg.dram.line_bytes,
+        unbounded_mach=unbounded_mach, fault_plan=fault_plan,
+        vectorized=vectorized and not (
+            use_mach_buffer and buffer_policy == "eager"))
     display = DisplayController(cfg.display, cfg.calibration.display_scan_duty)
     reader = DisplayReadEngine(
         cfg.display, sim_mach_cfg, video_cfg, cfg.dram.line_bytes,

@@ -17,12 +17,12 @@ DRAM, plus the statistics behind Figs. 10c/10d/10e.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from ..config import DisplayConfig, MachConfig, VideoConfig
-from ..display.display_cache import simulate_direct_mapped
+from ..display.display_cache import simulate_direct_mapped_array
 from ..display.mach_buffer import MachBuffer
 from .coalesce import sequential_lines
 from .layout import FrameLayout, LayoutMode, RecordKind
@@ -102,7 +102,7 @@ class DisplayReadEngine:
         self.stats = ReadStats()
         self.buffer = MachBuffer(mach.buffer_entries, policy=buffer_policy)
         self._dc_slots = display.scaled_cache_bytes(video, line_bytes) // line_bytes
-        self._dc_state: Dict[int, int] = {}
+        self._dc_state = np.full(self._dc_slots, -1, dtype=np.int64)
 
     # -- public API -------------------------------------------------------------
 
@@ -181,7 +181,7 @@ class DisplayReadEngine:
         stats.block_line_requests += len(block_lines)
 
         if self.use_display_cache:
-            hits, self._dc_state = simulate_direct_mapped(
+            hits = simulate_direct_mapped_array(
                 block_lines // line, self._dc_slots, self._dc_state)
             stats.dc_hits += int(hits.sum())
             block_miss_lines = block_lines[~hits]

@@ -1,0 +1,258 @@
+"""Structure-of-arrays kernels for the per-frame hot path.
+
+The write path classifies every decoded block against a per-frame LRU
+set-associative MACH (:mod:`repro.core.mach`).  The scalar reference
+walks blocks one at a time; these kernels compute the *identical*
+classification in a handful of numpy passes by exploiting two
+properties:
+
+* **LRU inclusion** — after any touch sequence, a ``ways``-way LRU set
+  holds exactly the ``ways`` most recently touched distinct keys, and
+  the touch sequence is known a priori (every non-inter block touches
+  its set exactly once, whether it hits or inserts).  A touch therefore
+  hits iff the number of *distinct* keys touched in its set since the
+  previous touch of the same key is at most ``ways - 1`` — the classic
+  stack-distance property.
+* **Distinct-in-window counting** — the number of distinct keys in a
+  window ``(p, t)`` of one set's touch sequence equals the window
+  length minus the number of same-key occurrence links lying entirely
+  inside the window, and with windows that are themselves occurrence
+  links this reduces to an offline *count-smaller-to-the-left* query
+  over the next-occurrence array, solved by a vectorized mergesort.
+
+Everything here is exact: :func:`lru_touch_classify` is
+property-tested against the scalar :class:`~repro.cache.setassoc.\
+SetAssociativeCache` replay, and the write engine asserts bit-identical
+frame layouts in the equivalence suite.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["count_smaller_left", "lru_touch_classify", "LruClassification"]
+
+
+_BASE_WIDTH = 32
+
+#: Cached strictly-lower-triangular masks for the mergesort base case.
+_TRI_MASKS: dict = {}
+
+
+def _tri_mask(base: int) -> np.ndarray:
+    mask = _TRI_MASKS.get(base)
+    if mask is None:
+        mask = np.tri(base, base, -1, dtype=bool)
+        _TRI_MASKS[base] = mask
+    return mask
+
+
+def count_smaller_left(values: np.ndarray, bound: int = 0) -> np.ndarray:
+    """For each element, count strictly-smaller elements to its left.
+
+    ``values`` must be one-dimensional with *distinct* entries (the
+    callers guarantee distinctness by construction).  Runs a bottom-up
+    mergesort where each level counts, for every element of a right
+    half, the elements of the matching left half that are smaller —
+    fully vectorized via a packed-key searchsorted per level, with the
+    smallest levels collapsed into one triangular broadcast.
+
+    ``bound``, when positive, promises ``0 <= values < bound`` and
+    skips the rank-compression pass.
+    """
+    v = np.asarray(values)
+    m = len(v)
+    out = np.zeros(m, dtype=np.int64)
+    if m < 2:
+        return out
+    if bound > 0:
+        ranks = v.astype(np.int64, copy=False)
+        span = int(bound)
+    else:
+        # Rank-compress to distinct ints in [0, m) so keys pack safely.
+        ranks = np.empty(m, dtype=np.int64)
+        ranks[np.argsort(v, kind="stable")] = np.arange(m, dtype=np.int64)
+        span = m
+
+    size = 1 << (m - 1).bit_length()
+    # Pack (value, original index) into one int64: sorting packed keys
+    # sorts by value (values are distinct), and comparing packed keys
+    # compares values exactly.  Padding sentinels sort above every real
+    # key and stay small enough that the per-row offsets below cannot
+    # overflow.
+    sentinel = np.int64(span) * size
+    packed = np.full(size, sentinel, dtype=np.int64)
+    packed[:m] = ranks * size + np.arange(m, dtype=np.int64)
+    idx_mask = size - 1
+
+    # Base case: one (blocks, B, B) triangular broadcast replaces the
+    # first log2(B) merge levels, whose per-level numpy overhead would
+    # otherwise dominate.
+    base = min(_BASE_WIDTH, size)
+    blocks = packed.reshape(-1, base)
+    tri = _tri_mask(base)
+    counts = ((blocks[:, None, :] < blocks[:, :, None]) & tri).sum(axis=2)
+    flat = blocks.ravel()
+    real = flat < sentinel
+    out[flat[real] & idx_mask] = counts.ravel()[real]
+    packed = np.sort(blocks, axis=1).ravel()
+
+    width = base
+    while width < size:
+        rows = packed.reshape(-1, 2 * width)
+        lefts = rows[:, :width]
+        rights = rows[:, width:]
+        # Batched searchsorted: rows are sorted and an increasing
+        # per-row offset keeps the flattened left array globally sorted.
+        offset = np.arange(rows.shape[0], dtype=np.int64) * (2 * sentinel)
+        flat_left = (lefts + offset[:, None]).ravel()
+        flat_query = (rights + offset[:, None]).ravel()
+        level = np.searchsorted(flat_left, flat_query, side="left")
+        level -= np.arange(rows.shape[0], dtype=np.int64).repeat(width) * width
+        right_keys = rights.ravel()
+        real = right_keys < sentinel
+        # Each element appears as a right-half key at most once per
+        # level, so plain fancy indexing accumulates safely.
+        out[right_keys[real] & idx_mask] += level[real]
+        width *= 2
+        if width < size:
+            packed = np.sort(rows, axis=1).ravel()
+    return out
+
+
+class LruClassification:
+    """Result of :func:`lru_touch_classify` (original touch order)."""
+
+    __slots__ = ("hits", "provider", "resident_touch", "resident_rank")
+
+    def __init__(self, hits: np.ndarray, provider: np.ndarray,
+                 resident_touch: np.ndarray,
+                 resident_rank: np.ndarray) -> None:
+        #: bool per touch: True = the touch hit a resident entry.
+        self.hits = hits
+        #: int64 per touch: index of the touch whose *insert* provided
+        #: the value a hit observed (-1 for misses).
+        self.provider = provider
+        #: touch indices of the inserts resident when the sequence
+        #: ended, ordered (set ascending, most-recent first).
+        self.resident_touch = resident_touch
+        #: recency rank (0 = MRU) of each resident entry within its set.
+        self.resident_rank = resident_rank
+
+
+def lru_touch_classify(sets: np.ndarray, keys: np.ndarray,
+                       ways: int) -> LruClassification:
+    """Replay a touch sequence through per-set LRU caches, vectorized.
+
+    Args:
+        sets: int64 set index per touch, in access order.
+        keys: int64 key per touch (a key maps to exactly one set).
+        ways: associativity of every set (``ways >= 1``).
+
+    Returns:
+        A :class:`LruClassification` with hit/provider arrays aligned
+        to the input order plus the final resident entries.
+
+    Semantics match an insert-on-miss LRU exactly: every touch makes
+    its key most-recently-used; a miss inserts the key (evicting the
+    LRU entry of a full set); a hit returns the value stored by the
+    key's most recent *insert*.
+    """
+    sets = np.asarray(sets, dtype=np.int64)
+    keys = np.asarray(keys, dtype=np.int64)
+    m = len(keys)
+    hits = np.zeros(m, dtype=bool)
+    provider = np.full(m, -1, dtype=np.int64)
+    if m == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return LruClassification(hits, provider, empty, empty)
+
+    # Group touches by set, keeping time order inside each set; all
+    # window arithmetic below runs in these grouped coordinates, where
+    # every set occupies one contiguous position range.
+    by_set = np.argsort(sets, kind="stable")
+    keys_g = keys[by_set]
+
+    # Same-key occurrence chains (a key lives in one set, so chains
+    # never cross a set boundary).
+    chain = np.argsort(keys_g, kind="stable")
+    chain_keys = keys_g[chain]
+    linked = chain_keys[1:] == chain_keys[:-1]
+
+    sentinel_base = np.int64(m)
+    nxt = sentinel_base + np.arange(m, dtype=np.int64)  # distinct sentinels
+    nxt[chain[:-1][linked]] = chain[1:][linked]
+    prv = np.full(m, -1, dtype=np.int64)
+    prv[chain[1:][linked]] = chain[:-1][linked]
+
+    # Stack distance: a touch at grouped position t with previous
+    # occurrence p hits iff the window (p, t) holds <= ways-1 distinct
+    # keys.  distinct = window length - links inside the window, and
+    # links inside = (links ending before t) - (links from positions
+    # <= p ending before t); the second term is count-smaller-left of
+    # the next-occurrence array evaluated at p, because the window
+    # bound t *is* p's next occurrence.  Only link positions (finite
+    # next) contribute to or issue these queries, so the quadratic
+    # structure is computed over the compressed link array.
+    is_link = nxt < m
+    link_next = nxt[is_link]
+    csl_link = count_smaller_left(link_next, bound=m)
+    link_rank = np.cumsum(is_link) - 1  # position -> index among links
+    t_pos = np.arange(m, dtype=np.int64)
+    has_prev = prv >= 0
+    q_t = t_pos[has_prev]
+    q_p = prv[has_prev]
+    # links-ending-before(t): the finite next-values are exactly the
+    # positions that have a previous occurrence — q_t itself, which is
+    # ascending and distinct — so the count below q_t[i] is just i.
+    ends_before = np.arange(len(q_t), dtype=np.int64)
+    inside = ends_before - csl_link[link_rank[q_p]]
+    distinct = (q_t - q_p - 1) - inside
+    hits_g = np.zeros(m, dtype=bool)
+    hits_g[q_t] = distinct <= ways - 1
+
+    # Provider: along each chain, the latest miss (insert) at or before
+    # the previous occurrence — a segmented running maximum.
+    stored_chain = ~hits_g[chain]
+    seg_id = np.concatenate(([0], np.cumsum(~linked)))
+    offset = seg_id * (m + 1)
+    cand = np.where(stored_chain, chain, -1)
+    run_max = np.maximum.accumulate(cand + offset) - offset
+    prov_prev = np.concatenate(([np.int64(-1)], run_max[:-1]))
+    prov_prev[np.concatenate(([True], ~linked))] = -1
+    prov_g = np.full(m, -1, dtype=np.int64)
+    prov_g[chain] = prov_prev
+    # A hit's provider is the insert at its previous occurrence's
+    # running maximum *including* that occurrence itself.
+    prov_at = np.full(m, -1, dtype=np.int64)
+    prov_at[chain] = run_max
+    hit_positions = t_pos[hits_g]
+    provider_g = prov_at[prv[hit_positions]]
+
+    hits[by_set] = hits_g
+    prov_full = np.full(m, -1, dtype=np.int64)
+    prov_full[hit_positions] = by_set[provider_g]
+    provider[by_set] = prov_full
+
+    # Final contents: per set, the `ways` most recent distinct keys =
+    # the most recent `ways` chain-last occurrences, newest first.
+    last_mask = nxt >= m
+    last_pos = t_pos[last_mask]
+    last_sets = sets[by_set][last_mask]
+    order = np.lexsort((-last_pos, last_sets))
+    sorted_sets = last_sets[order]
+    new_set = np.empty(len(order), dtype=bool)
+    if len(order):
+        new_set[0] = True
+        new_set[1:] = sorted_sets[1:] != sorted_sets[:-1]
+    starts = np.flatnonzero(new_set)
+    rank = np.arange(len(order), dtype=np.int64)
+    if len(order):
+        rank -= np.repeat(starts, np.diff(np.append(starts, len(order))))
+    resident = rank < ways
+    res_pos = last_pos[order][resident]
+    resident_touch = by_set[prov_at[res_pos]]
+    resident_rank = rank[resident]
+    return LruClassification(hits, provider, resident_touch, resident_rank)

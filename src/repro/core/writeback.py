@@ -25,13 +25,14 @@ import numpy as np
 from ..compression.dcc import compressed_sizes
 from ..config import MachConfig, SchemeConfig, VideoConfig
 from ..faults import FaultPlan
-from ..hashing.crc import crc16_blocks, crc32_blocks
+from ..hashing.crc import crc_pair_blocks
 from ..hashing.digest import get_scheme
 from ..video.frame import DecodedFrame
 from .coalesce import sequential_lines, uncoalesced_stream_lines
 from .gradient import to_gradient
 from .layout import FrameLayout, LayoutMode, RecordKind
 from .mach import FrozenMach, MachRing, MachStats, MatchKind
+from .soa import lru_touch_classify
 
 _DUMP_ENTRY_BYTES = 8  # digest (4) + pointer (4)
 
@@ -83,11 +84,20 @@ class WritebackEngine:
     def __init__(self, video: VideoConfig, mach: MachConfig,
                  scheme: SchemeConfig, line_bytes: int = 64,
                  unbounded_mach: bool = False,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 vectorized: bool = True) -> None:
         self.video = video
         self.mach_config = mach
         self.scheme = scheme
         self.line_bytes = line_bytes
+        #: Use the SoA frame kernel where it is bit-exact; the scalar
+        #: per-block loop remains both the fallback (fault injection,
+        #: CRC collisions) and the reference the kernel is tested
+        #: against.  Callers that consume the frozen dump's *iteration
+        #: order* (the eager MACH-buffer prefetch) must pass False: the
+        #: kernel emits the same dump entries in recency order rather
+        #: than the scalar (set, way-slot) order.
+        self.vectorized = vectorized
         self.ring: Optional[MachRing] = (
             MachRing(mach, unbounded=unbounded_mach)
             if scheme.uses_mach else None)
@@ -165,29 +175,54 @@ class WritebackEngine:
             tag_input = frame.blocks
         name = self.mach_config.digest_scheme
         if name in ("crc32", "crc48"):
-            tags = crc32_blocks(tag_input).astype(np.int64)
-            aux = crc16_blocks(tag_input).astype(np.int64)
+            crc32s, crc16s = crc_pair_blocks(tag_input)
+            tags = crc32s.astype(np.int64)
+            aux = crc16s.astype(np.int64)
         else:
             tags = self._scheme_obj.digest_blocks(tag_input).astype(np.int64)
             aux = np.zeros(len(tags), dtype=np.int64)
         return tags, aux
 
+    def _dcc_sizes(self, frame: DecodedFrame) -> Optional[np.ndarray]:
+        if not self.scheme.dcc:
+            return None
+        return compressed_sizes(
+            to_gradient(frame.blocks)[0] if self._use_gradient
+            else frame.blocks)
+
     def _process_mach(self, frame: DecodedFrame,
                       slot_base: int) -> WritebackResult:
         assert self.ring is not None
         ring = self.ring
-        n = frame.n_blocks
-        block_bytes = frame.block_bytes
-        mach = self.mach_config
-
         tags, aux = self._digest_frame(frame)
-        if self.scheme.dcc:
-            dcc_sizes = compressed_sizes(
-                to_gradient(frame.blocks)[0] if self._use_gradient
-                else frame.blocks)
-        else:
-            dcc_sizes = None
+        dcc_sizes = self._dcc_sizes(frame)
+        if self.vectorized and self._fault_plan is None:
+            ring.ensure_idle()
+            found, addresses, clean = ring.lookup_batch(tags, aux)
+            if clean and self._aux_consistent(tags, aux):
+                return self._process_mach_kernel(
+                    frame, slot_base, tags, aux, dcc_sizes, found, addresses)
+        return self._process_mach_scalar(
+            frame, slot_base, tags, aux, dcc_sizes)
 
+    @staticmethod
+    def _aux_consistent(tags: np.ndarray, aux: np.ndarray) -> bool:
+        """True when no digest appears with two different CRC16 auxes.
+
+        A natural CRC32 collision inside the frame would make the
+        scalar loop take a collision path (silent match or CO-MACH
+        spill); such frames replay through the scalar reference.
+        """
+        if not aux.any():
+            return True
+        pair = np.sort((tags << np.int64(16)) | aux)
+        same_tag = (pair[1:] >> np.int64(16)) == (pair[:-1] >> np.int64(16))
+        return not np.any(same_tag & (pair[1:] != pair[:-1]))
+
+    def _layout_bases(self, frame: DecodedFrame,
+                      slot_base: int) -> Tuple[int, int, int]:
+        n = frame.n_blocks
+        mach = self.mach_config
         table_bytes = n * mach.pointer_bytes
         if self._digest_layout is LayoutMode.POINTER_DIGEST:
             table_bytes += (n + 7) // 8
@@ -195,6 +230,18 @@ class WritebackEngine:
         table_base = slot_base
         bases_base = table_base + table_bytes
         data_base = bases_base + bases_bytes
+        return table_base, bases_base, data_base
+
+    def _process_mach_scalar(self, frame: DecodedFrame, slot_base: int,
+                             tags: np.ndarray, aux: np.ndarray,
+                             dcc_sizes: Optional[np.ndarray]) -> WritebackResult:
+        """Reference per-block walk (also the fault/collision path)."""
+        assert self.ring is not None
+        ring = self.ring
+        n = frame.n_blocks
+        block_bytes = frame.block_bytes
+        table_base, bases_base, data_base = self._layout_bases(
+            frame, slot_base)
 
         kinds = np.empty(n, dtype=np.uint8)
         pointers = np.empty(n, dtype=np.int64)
@@ -244,15 +291,139 @@ class WritebackEngine:
             inter=after[1] - before[1],
             none=after[2] - before[2],
         )
+        return self._finish_mach(
+            frame, kinds, pointers, digests_out,
+            table_base, bases_base, data_base,
+            cursor - data_base, dump, matches)
 
-        data_bytes = cursor - data_base
+    def _process_mach_kernel(self, frame: DecodedFrame, slot_base: int,
+                             tags: np.ndarray, aux: np.ndarray,
+                             dcc_sizes: Optional[np.ndarray],
+                             found: np.ndarray,
+                             addresses: np.ndarray) -> WritebackResult:
+        """SoA classification of a whole frame at once.
+
+        Preconditions (checked by the dispatcher): no fault plan, no
+        CRC16 aux disagreement against the frozen ring or within the
+        frame.  Under those, every block found in the frozen ring is
+        INTER (a frozen digest can never also be resident in the
+        current MACH), and the remaining blocks replay an LRU touch
+        sequence that :func:`repro.core.soa.lru_touch_classify` solves
+        in closed form — bit-identical to the scalar walk.
+        """
+        assert self.ring is not None
+        ring = self.ring
+        n = frame.n_blocks
+        mach = self.mach_config
+        table_base, bases_base, data_base = self._layout_bases(
+            frame, slot_base)
+        digest_mode = self._digest_layout is LayoutMode.POINTER_DIGEST
+
+        kinds = np.empty(n, dtype=np.uint8)
+        pointers = np.empty(n, dtype=np.int64)
+        digests_out = np.zeros(n, dtype=np.uint64)
+
+        touch_idx = np.flatnonzero(~found)
+        touch_keys = tags[touch_idx]
+        if ring.unbounded:
+            # Oracle MACH: first occurrence stores, the rest hit it.
+            _, first_pos, inverse = np.unique(
+                touch_keys, return_index=True, return_inverse=True)
+            hits = np.ones(len(touch_idx), dtype=bool)
+            hits[first_pos] = False
+            provider_block = touch_idx[first_pos[inverse[hits]]]
+            stored_idx = touch_idx[~hits]
+            resident_idx = stored_idx  # insertion (= block) order
+        else:
+            cls = lru_touch_classify(
+                touch_keys & np.int64(mach.sets_per_mach - 1),
+                touch_keys, mach.ways)
+            hits = cls.hits
+            provider_block = touch_idx[cls.provider[hits]]
+            stored_idx = touch_idx[~hits]
+            resident_idx = touch_idx[cls.resident_touch]
+
+        # Stored blocks pack into the data region in block order.
+        if dcc_sizes is not None:
+            stored_sizes = dcc_sizes[stored_idx].astype(np.int64)
+        else:
+            stored_sizes = np.full(
+                len(stored_idx), frame.block_bytes, dtype=np.int64)
+        ends = np.cumsum(stored_sizes)
+        data_bytes = int(ends[-1]) if len(ends) else 0
+        pointers[stored_idx] = data_base + ends - stored_sizes
+        kinds[stored_idx] = int(RecordKind.STORED)
+
+        intra_idx = touch_idx[hits]
+        kinds[intra_idx] = int(RecordKind.POINTER)
+        pointers[intra_idx] = pointers[provider_block]
+
+        inter_idx = np.flatnonzero(found)
+        pointers[inter_idx] = addresses[inter_idx]
+        if digest_mode:
+            kinds[inter_idx] = int(RecordKind.DIGEST)
+            digests_out[inter_idx] = tags[inter_idx].astype(np.uint64)
+        else:
+            kinds[inter_idx] = int(RecordKind.POINTER)
+
+        # Stats, reproducing the scalar loop's Counter insertion order
+        # (first match occurrence in block order).
+        n_intra = len(intra_idx)
+        n_inter = len(inter_idx)
+        matched = found.copy()
+        matched[intra_idx] = True
+        matched_tags = tags[matched]
+        if len(matched_tags):
+            order = np.argsort(matched_tags, kind="stable")
+            sorted_tags = matched_tags[order]
+            starts = np.flatnonzero(np.concatenate(
+                ([True], sorted_tags[1:] != sorted_tags[:-1])))
+            counts = np.diff(np.append(starts, len(sorted_tags)))
+            # The stable sort keeps block order within equal tags, so
+            # order[starts] is each tag's first match occurrence.
+            first_order = np.argsort(order[starts])
+            matched_digests = sorted_tags[starts[first_order]].tolist()
+            matched_counts = counts[first_order].tolist()
+        else:
+            matched_digests, matched_counts = [], []
+        ring.stats.record_batch(
+            n_intra, n_inter, len(stored_idx), matched_digests,
+            matched_counts)
+
+        table = {
+            int(digest): (int(address), int(auxv))
+            for digest, address, auxv in zip(
+                tags[resident_idx].tolist(),
+                pointers[resident_idx].tolist(),
+                aux[resident_idx].tolist())
+        }
+        dump = FrozenMach(
+            frame.index, table,
+            np.fromiter(table.keys(), dtype=np.uint64, count=len(table)))
+        # Seed the lazy column view from arrays already in hand (fancy
+        # indexing copies, so nothing aliases the layout arrays).
+        dump.__dict__["columns"] = (
+            tags[resident_idx], pointers[resident_idx], aux[resident_idx])
+        ring.ingest_frozen(dump)
+
+        matches = FrameMatches(
+            intra=n_intra, inter=n_inter, none=len(stored_idx))
+        return self._finish_mach(
+            frame, kinds, pointers, digests_out,
+            table_base, bases_base, data_base, data_bytes, dump, matches)
+
+    def _finish_mach(self, frame: DecodedFrame, kinds: np.ndarray,
+                     pointers: np.ndarray, digests_out: np.ndarray,
+                     table_base: int, bases_base: int, data_base: int,
+                     data_bytes: int, dump: FrozenMach,
+                     matches: FrameMatches) -> WritebackResult:
         dump_base = data_base + data_bytes
         dump_bytes = dump.entries * _DUMP_ENTRY_BYTES
         layout = FrameLayout(
             frame_index=frame.index,
             mode=self._digest_layout,
-            n_blocks=n,
-            block_bytes=block_bytes,
+            n_blocks=frame.n_blocks,
+            block_bytes=frame.block_bytes,
             kinds=kinds,
             pointers=pointers,
             digests=digests_out,
@@ -263,8 +434,8 @@ class WritebackEngine:
             data_bytes=data_bytes,
             dump_base=dump_base,
             dump_bytes=dump_bytes,
-            pointer_bytes=mach.pointer_bytes,
-            base_bytes=mach.base_bytes,
+            pointer_bytes=self.mach_config.pointer_bytes,
+            base_bytes=self.mach_config.base_bytes,
         )
         write_lines = self._write_lines(layout)
         return WritebackResult(layout, write_lines, matches, dump,

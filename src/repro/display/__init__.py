@@ -2,7 +2,11 @@
 and the DC-side MACH buffer."""
 
 from .controller import DisplayController, DisplayStats
-from .display_cache import DisplayCache, simulate_direct_mapped
+from .display_cache import (
+    DisplayCache,
+    simulate_direct_mapped,
+    simulate_direct_mapped_array,
+)
 from .framebuffer import FrameBufferPool, FrameBufferSlot
 from .mach_buffer import MachBuffer
 
@@ -11,6 +15,7 @@ __all__ = [
     "DisplayStats",
     "DisplayCache",
     "simulate_direct_mapped",
+    "simulate_direct_mapped_array",
     "FrameBufferPool",
     "FrameBufferSlot",
     "MachBuffer",

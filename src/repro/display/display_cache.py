@@ -62,6 +62,33 @@ def simulate_direct_mapped(
     if n == 0:
         return hits, dict(initial_state or {})
 
+    state_array = np.full(n_slots, -1, dtype=np.int64)
+    for slot, tag in (initial_state or {}).items():
+        state_array[slot] = tag
+    hits = simulate_direct_mapped_array(line_keys, n_slots, state_array)
+    resident = np.flatnonzero(state_array >= 0)
+    state = {int(s): int(state_array[s]) for s in resident}
+    return hits, state
+
+
+def simulate_direct_mapped_array(
+    line_keys: np.ndarray,
+    n_slots: int,
+    state: np.ndarray,
+) -> np.ndarray:
+    """Direct-mapped replay against an array slot state, fully batched.
+
+    ``state`` is the ``n_slots``-long slot -> resident tag array (-1 =
+    empty), updated **in place** — the form the stateful read path
+    carries between frames so run boundaries never drop to Python.
+    Returns the hit mask aligned with ``line_keys``.
+    """
+    line_keys = np.asarray(line_keys, dtype=np.int64)
+    n = len(line_keys)
+    hits = np.zeros(n, dtype=bool)
+    if n == 0:
+        return hits
+
     slots = line_keys & (n_slots - 1)
     order = np.lexsort((np.arange(n), slots))
     sorted_slots = slots[order]
@@ -70,17 +97,16 @@ def simulate_direct_mapped(
     same_slot = np.empty(n, dtype=bool)
     same_slot[0] = False
     same_slot[1:] = sorted_slots[1:] == sorted_slots[:-1]
-    sorted_hits = same_slot & (sorted_keys == np.roll(sorted_keys, 1))
+    sorted_hits = same_slot.copy()
+    sorted_hits[1:] &= sorted_keys[1:] == sorted_keys[:-1]
 
-    # Slot-run boundaries consult the carried-over state.
-    state = dict(initial_state or {})
+    # Each slot forms one contiguous run after the sort, so the run
+    # starts (gather) and run ends (scatter) touch each slot once.
     run_starts = np.flatnonzero(~same_slot)
-    for start in run_starts:
-        slot = int(sorted_slots[start])
-        sorted_hits[start] = state.get(slot) == int(sorted_keys[start])
+    sorted_hits[run_starts] = (
+        state[sorted_slots[run_starts]] == sorted_keys[run_starts])
     run_ends = np.append(run_starts[1:] - 1, n - 1)
-    for end in run_ends:
-        state[int(sorted_slots[end])] = int(sorted_keys[end])
+    state[sorted_slots[run_ends]] = sorted_keys[run_ends]
 
     hits[order] = sorted_hits
-    return hits, state
+    return hits

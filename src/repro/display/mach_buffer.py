@@ -42,6 +42,7 @@ class MachBuffer:
         self.capacity = capacity_entries
         self.policy = policy
         self._resident: "OrderedDict[int, None]" = OrderedDict()
+        self._sorted: np.ndarray | None = None
         self.hits = 0
         self.misses = 0
         self.installed = 0
@@ -60,10 +61,20 @@ class MachBuffer:
                 self._resident[key] = None
                 new += 1
         self.installed += new
+        self._evict_over_capacity()
+        return new
+
+    def _install_new(self, digests: np.ndarray) -> None:
+        """Bulk insert of digests known to be absent, in array order."""
+        self._resident.update(dict.fromkeys(digests.tolist()))
+        self.installed += len(digests)
+        self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        self._sorted = None
         while len(self._resident) > self.capacity:
             self._resident.popitem(last=False)
             self.evicted += 1
-        return new
 
     def prefetch_dump(self, digests: np.ndarray) -> int:
         """Eager policy: load one frame's dump; returns entries fetched."""
@@ -84,15 +95,31 @@ class MachBuffer:
         n = len(digests)
         if n == 0:
             return np.zeros(0, dtype=bool), np.empty(0, dtype=np.uint64)
-        if not self._resident:
-            resident_array = np.empty(0, dtype=np.uint64)
-        else:
-            resident_array = np.fromiter(
+        resident_array = self._sorted
+        if resident_array is None:
+            resident_array = np.sort(np.fromiter(
                 self._resident.keys(), dtype=np.uint64,
-                count=len(self._resident))
-        uniques, first_index, inverse = np.unique(
-            digests, return_index=True, return_inverse=True)
-        resident_unique = np.isin(uniques, resident_array)
+                count=len(self._resident)))
+            self._sorted = resident_array
+        # Sort-based unique: the stable argsort makes order[starts] each
+        # digest's first occurrence (what np.unique's return_index gives).
+        order = np.argsort(digests, kind="stable")
+        sorted_d = digests[order]
+        is_start = np.empty(n, dtype=bool)
+        is_start[0] = True
+        is_start[1:] = sorted_d[1:] != sorted_d[:-1]
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[order] = np.cumsum(is_start) - 1
+        starts = np.flatnonzero(is_start)
+        uniques = sorted_d[starts]
+        first_index = order[starts]
+        if len(resident_array):
+            pos = np.minimum(
+                np.searchsorted(resident_array, uniques),
+                len(resident_array) - 1)
+            resident_unique = resident_array[pos] == uniques
+        else:
+            resident_unique = np.zeros(len(uniques), dtype=bool)
         if self.policy == "eager":
             hits = resident_unique[inverse]
             missed = uniques[~resident_unique]
@@ -100,7 +127,8 @@ class MachBuffer:
             is_first_use = np.arange(n) == first_index[inverse]
             hits = resident_unique[inverse] | ~is_first_use
             missed = uniques[~resident_unique]
-            self.install(missed)
+            if len(missed):
+                self._install_new(missed)
         self.hits += int(hits.sum())
         self.misses += int((~hits).sum())
         return hits, missed

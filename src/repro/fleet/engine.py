@@ -225,12 +225,12 @@ class FleetResult:
             counts = hist.counts[1 + first:2 + last].astype(np.float64)
             lo = 10.0 ** (hist.lo_exp + first / hist.bins_per_decade)
             hi = 10.0 ** (hist.lo_exp + (last + 1) / hist.bins_per_decade)
-            lines.append(f"\nsession energy distribution "
+            lines.append("\nsession energy distribution "
                          f"[{lo:.3g} J .. {hi:.3g} J, log scale]:")
             lines.append("  " + sparkline(counts))
         if self.contention:
             lines.append(f"\ncontention: {self.saturated_cell_epochs} "
-                         f"saturated cell-epochs, peak offered load "
+                         "saturated cell-epochs, peak offered load "
                          f"{self.peak_cell_load:.3g} bytes/s per cell")
         return "\n".join(lines)
 

@@ -293,7 +293,7 @@ class PopulationSpec:
                  f"cell-load field {self.total_cells} cells x "
                  f"{self.epoch_count} epochs exceeds the "
                  f"{MAX_CELL_EPOCHS} bound — coarsen epoch_seconds or "
-                 f"shrink the horizon")
+                 "shrink the horizon")
 
     @property
     def total_cells(self) -> int:

@@ -7,14 +7,28 @@ to ``zlib.crc32``) are provided:
   only to validate the others in tests;
 * :func:`crc32` — table-driven, byte-at-a-time, for scalar use;
 * :func:`crc32_blocks` — numpy-vectorized over a ``(n, k)`` uint8 array
-  of blocks, computing all ``n`` digests in ``k`` table lookups.  This
-  is what the simulator uses on whole frames.
+  of blocks, computing all ``n`` digests in a single gather/XOR-reduce
+  over per-position tables.  This is what the simulator uses on whole
+  frames.
+
+The positional-table trick: the byte step ``c' = T[(c ^ b) & 0xFF] ^
+(c >> 8)`` equals ``L(c ^ b)`` with ``L`` the zero-byte step, and ``L``
+is linear over GF(2), so the final register is an XOR of independent
+per-byte contributions: ``crc(b_0..b_{k-1}) = L^k(init) ^ XOR_j
+L^(k-j)(b_j)``.  ``L^(k-j)`` restricted to byte inputs is a 256-entry
+table, built once per block length and cached.  The previous
+column-at-a-time implementation is retained as
+:func:`crc32_blocks_columnwise` / :func:`crc16_blocks_columnwise` — the
+scalar-adjacent reference the equivalence tests compare against.
 
 CRC-16 (CCITT, used by the paper's CO-MACH collision extension) gets
 the same treatment.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -76,13 +90,95 @@ def crc16(data: bytes) -> int:
     return crc ^ 0xFFFF
 
 
+@lru_cache(maxsize=32)
+def _positional_tables(length: int, width: int) -> Tuple[np.ndarray, int]:
+    """``(k, 256)`` per-position contribution tables plus the constant.
+
+    ``tables[j][b]`` is the final-register contribution of byte value
+    ``b`` at position ``j`` of a ``length``-byte message; the returned
+    constant folds ``L^k(init)`` together with the final XOR.
+    """
+    if width == 32:
+        base, init, final = _CRC32_TABLE, _CRC32_INIT, 0xFFFFFFFF
+    else:
+        base, init, final = _CRC16_TABLE, _CRC16_INIT, 0xFFFF
+    tables = np.empty((length, 256), dtype=base.dtype)
+    if length:
+        tables[length - 1] = base
+        for j in range(length - 2, -1, -1):
+            prev = tables[j + 1]
+            tables[j] = base[prev & base.dtype.type(0xFF)] ^ (
+                prev >> base.dtype.type(8))
+    crc = init
+    for _ in range(length):
+        crc = int(base[crc & 0xFF]) ^ (crc >> 8)
+    tables.setflags(write=False)
+    return tables, crc ^ final
+
+
+# Reused per-shape intermediates (the gather index and term matrix are
+# ~250 KB per call at simulator frame sizes; reallocating them every
+# frame costs more than the gather itself).  The simulator is
+# single-process/single-threaded per run, matching the rest of the
+# stateful models.
+_SCRATCH: dict = {}
+
+
+def _scratch(key: str, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    buf = _SCRATCH.get(key)
+    if buf is None or buf.shape != shape:
+        buf = np.empty(shape, dtype=dtype)
+        _SCRATCH[key] = buf
+    return buf
+
+
+def _flat_gather_index(blocks: np.ndarray) -> np.ndarray:
+    """Per-byte index into a raveled ``(k, 256)`` table: ``j*256 | b``."""
+    index = _scratch("index", blocks.shape, np.dtype(np.uint16))
+    np.copyto(index, blocks, casting="unsafe")
+    index |= (np.arange(blocks.shape[1], dtype=np.uint16) << np.uint16(8))
+    return index
+
+
+def _crc_blocks(blocks: np.ndarray, width: int,
+                index: Optional[np.ndarray] = None) -> np.ndarray:
+    tables, const = _positional_tables(blocks.shape[1], width)
+    dtype = tables.dtype
+    if blocks.shape[1] == 0:
+        return np.full(blocks.shape[0], const, dtype=dtype)
+    if index is None:
+        index = _flat_gather_index(blocks)
+    terms = _scratch(f"terms{width}", blocks.shape, dtype)
+    tables.ravel().take(index, out=terms)
+    return np.bitwise_xor.reduce(terms, axis=1) ^ dtype.type(const)
+
+
 def crc32_blocks(blocks: np.ndarray) -> np.ndarray:
     """CRC-32 of every row of a ``(n, k)`` uint8 array, vectorized.
 
-    Processes one byte column at a time, so the work is ``k`` numpy
-    passes over ``n`` running CRC registers instead of ``n * k`` Python
-    byte operations.
+    One gather over cached per-position tables plus an XOR reduction —
+    no data-dependent serial register chain.
     """
+    return _crc_blocks(_as_block_matrix(blocks), 32)
+
+
+def crc16_blocks(blocks: np.ndarray) -> np.ndarray:
+    """CRC-16 of every row of a ``(n, k)`` uint8 array, vectorized."""
+    return _crc_blocks(_as_block_matrix(blocks), 16)
+
+
+def crc_pair_blocks(blocks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(crc32, crc16)`` of every row — the write path wants both.
+
+    Builds the shared gather index once; the two digests reuse it.
+    """
+    blocks = _as_block_matrix(blocks)
+    index = _flat_gather_index(blocks) if blocks.shape[1] else None
+    return (_crc_blocks(blocks, 32, index), _crc_blocks(blocks, 16, index))
+
+
+def crc32_blocks_columnwise(blocks: np.ndarray) -> np.ndarray:
+    """Column-at-a-time CRC-32 reference (``k`` serial table passes)."""
     blocks = _as_block_matrix(blocks)
     crcs = np.full(blocks.shape[0], _CRC32_INIT, dtype=np.uint32)
     for col in range(blocks.shape[1]):
@@ -91,8 +187,8 @@ def crc32_blocks(blocks: np.ndarray) -> np.ndarray:
     return crcs ^ np.uint32(0xFFFFFFFF)
 
 
-def crc16_blocks(blocks: np.ndarray) -> np.ndarray:
-    """CRC-16 of every row of a ``(n, k)`` uint8 array, vectorized."""
+def crc16_blocks_columnwise(blocks: np.ndarray) -> np.ndarray:
+    """Column-at-a-time CRC-16 reference (``k`` serial table passes)."""
     blocks = _as_block_matrix(blocks)
     crcs = np.full(blocks.shape[0], _CRC16_INIT, dtype=np.uint16)
     for col in range(blocks.shape[1]):

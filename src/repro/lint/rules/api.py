@@ -72,7 +72,7 @@ def unannotated_public_function(ctx: ModuleContext
         if func.returns is None:
             yield (func.lineno, func.col_offset,
                    f"{func.name}() has no return annotation "
-                   f"(use '-> None' if it returns nothing)")
+                   "(use '-> None' if it returns nothing)")
 
 
 @rule("A002", "broken-jsonable-pair", "api-contract",
@@ -100,4 +100,4 @@ def broken_jsonable_pair(ctx: ModuleContext) -> Iterator[RawViolation]:
                 yield (methods["from_jsonable"].lineno,
                        methods["from_jsonable"].col_offset,
                        f"{node.name}.from_jsonable must be a classmethod "
-                       f"(the runner restores instances from plain JSON)")
+                       "(the runner restores instances from plain JSON)")

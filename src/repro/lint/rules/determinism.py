@@ -63,7 +63,7 @@ def unseeded_rng(ctx: ModuleContext) -> Iterator[RawViolation]:
         if not call.args and "seed" not in call_keywords(call):
             yield (call.lineno, call.col_offset,
                    f"{name}() without a seed — seeded runs must be "
-                   f"bit-identical; pass an explicit seed")
+                   "bit-identical; pass an explicit seed")
 
 
 @rule("D002", "wall-clock", "determinism",
@@ -75,7 +75,7 @@ def wall_clock(ctx: ModuleContext) -> Iterator[RawViolation]:
         if qualified in _WALL_CLOCK or name in _WALL_CLOCK:
             yield (call.lineno, call.col_offset,
                    f"{name}() reads the wall clock — simulated time "
-                   f"must come from the model, not the host")
+                   "must come from the model, not the host")
 
 
 @rule("D003", "global-rng-state", "determinism",
@@ -90,7 +90,7 @@ def global_rng_state(ctx: ModuleContext) -> Iterator[RawViolation]:
                 if "." not in member and member not in _NP_RANDOM_OK:
                     yield (call.lineno, call.col_offset,
                            f"{name}() uses numpy's global RNG — use a "
-                           f"seeded np.random.default_rng(...) instance")
+                           "seeded np.random.default_rng(...) instance")
                 break
         else:
             if qualified.startswith("random.") \
@@ -99,4 +99,4 @@ def global_rng_state(ctx: ModuleContext) -> Iterator[RawViolation]:
                 if member.islower():  # module functions share global state
                     yield (call.lineno, call.col_offset,
                            f"{name}() uses the stdlib global RNG — use "
-                           f"a seeded generator instance")
+                           "a seeded generator instance")

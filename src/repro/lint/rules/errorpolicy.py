@@ -74,8 +74,8 @@ def broad_except(ctx: ModuleContext) -> Iterator[RawViolation]:
         for name in _broad_names(node.type):
             yield (node.lineno, node.col_offset,
                    f"'except {name}' swallows unrelated bugs — catch "
-                   f"ReproError (or justify the isolation boundary with "
-                   f"a suppression)")
+                   "ReproError (or justify the isolation boundary with "
+                   "a suppression)")
 
 
 @rule("E003", "raise-outside-hierarchy", "error-policy",

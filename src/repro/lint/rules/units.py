@@ -131,5 +131,5 @@ def undocumented_unit_field(ctx: ModuleContext) -> Iterator[RawViolation]:
                 continue
             yield (statement.lineno, statement.col_offset,
                    f"field {target.id!r} names a physical quantity but "
-                   f"neither its default nor a same-line comment states "
-                   f"the canonical unit (s / J / W)")
+                   "neither its default nor a same-line comment states "
+                   "the canonical unit (s / J / W)")

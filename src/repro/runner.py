@@ -118,7 +118,7 @@ def _parse_checkpoint(data: object, meta: Dict[str, object]
                          f"{_CHECKPOINT_VERSION}")
     if data.get("meta") != meta:
         raise ValueError(
-            f"written by a different matrix (saved meta "
+            "written by a different matrix (saved meta "
             f"{data.get('meta')!r} != current {meta!r})")
     completed: Dict[MatrixKey, RunResult] = {}
     entries = data.get("completed", [])
@@ -361,7 +361,7 @@ def normalized_matrix(
                 f"cannot normalize video {video!r}: no "
                 f"{baseline_name!r} run in the matrix (schemes present: "
                 f"{available}); run the baseline scheme or pass "
-                f"baseline_name=")
+                "baseline_name=")
         base = results[video, baseline_name].energy.total
         table[video] = {
             scheme: run.energy.total / base

@@ -48,7 +48,7 @@ class FrameTrace:
     def __post_init__(self) -> None:
         if self.blocks.ndim != 3 or self.blocks.dtype != np.uint8:
             raise GeometryError(
-                f"blocks must be (frames, n, k) uint8, got "
+                "blocks must be (frames, n, k) uint8, got "
                 f"{self.blocks.shape} {self.blocks.dtype}")
         n_frames = self.blocks.shape[0]
         for name in ("frame_types", "complexity", "encoded_bits"):

@@ -104,7 +104,7 @@ def main() -> None:
         ["component", "fraction"], comp_rows,
         title=f"\n== baseline component stack ({keys[0]}) "
               "(targets: dc .12, bg .12, vd .22, burst .13, act .28) =="))
-    print(f"\nper-frame baseline energy: "
+    print("\nper-frame baseline energy: "
           f"{base.energy.per_frame_mj(base.n_frames):.2f} mJ "
           f"(target ~16); elapsed {time.time() - t0:.1f}s")
 
