@@ -34,6 +34,7 @@ from .config import (
     RACING,
     FaultConfig,
     MachConfig,
+    RealtimeConfig,
     SchemeConfig,
     SimulationConfig,
     ThermalConfig,
@@ -78,6 +79,15 @@ _CORE_EXPORTS = {
     "FleetResult": ("fleet.engine", "FleetResult"),
     "CohortAggregate": ("fleet.engine", "CohortAggregate"),
     "run_fleet": ("fleet.engine", "run_fleet"),
+    "BottleneckLink": ("realtime.link", "BottleneckLink"),
+    "DelayLossController": ("realtime.congestion", "DelayLossController"),
+    "RealtimeResult": ("realtime.session", "RealtimeResult"),
+    "simulate_realtime": ("realtime.session", "simulate_realtime"),
+    "realtime_playback": ("realtime.session", "realtime_playback"),
+    "ChaosRegime": ("realtime.chaos", "ChaosRegime"),
+    "ChaosResult": ("realtime.chaos", "ChaosResult"),
+    "CHAOS_REGIMES": ("realtime.chaos", "CHAOS_REGIMES"),
+    "run_chaos": ("realtime.chaos", "run_chaos"),
 }
 
 
@@ -142,5 +152,15 @@ __all__ = [
     "FleetResult",
     "CohortAggregate",
     "run_fleet",
+    "RealtimeConfig",
+    "BottleneckLink",
+    "DelayLossController",
+    "RealtimeResult",
+    "simulate_realtime",
+    "realtime_playback",
+    "ChaosRegime",
+    "ChaosResult",
+    "CHAOS_REGIMES",
+    "run_chaos",
     "__version__",
 ]

@@ -146,6 +146,6 @@ class SetAssociativeCache:
                     yield (tag << self._index_bits) | index, value
 
     def clear(self) -> None:
-        for i, cache_set in enumerate(self._sets):
+        for i, _cache_set in enumerate(self._sets):
             self._sets[i] = _CacheSet(
                 self.ways, make_policy(self.policy_name, self.ways, seed=i))

@@ -15,7 +15,13 @@ Subcommands:
   adaptive-ladder vs fixed-batch Race-to-Sleep governor;
 * ``fleet`` — streaming population engine: score a heterogeneous
   session population (1M+ sessions, bounded memory) through the
-  calibrated flow-level surrogate and report cohort distributions.
+  calibrated flow-level surrogate and report cohort distributions;
+* ``realtime`` — emergent-impairment live session: bottleneck-queue
+  link, delay-gradient congestion control, FEC/retransmission
+  recovery, and the deadline degradation ladder;
+* ``chaos`` — chaos campaign: sweep impairment regimes (bursty loss,
+  RTT spikes, bandwidth cliffs) over the scheme matrix and the fleet
+  population and score SLOs into exactly-mergeable aggregates.
 """
 
 from __future__ import annotations
@@ -339,6 +345,87 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_realtime(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from .config import FaultConfig, RealtimeConfig
+    from .realtime import simulate_realtime
+    from .units import MBPS, MS
+
+    rt = RealtimeConfig(
+        enabled=True,
+        link_rate=args.rate_mbps * MBPS,
+        propagation_delay=args.prop_ms * MS,
+        latency_budget=args.budget_ms * MS,
+        recovery=args.recovery,
+        ladder=not args.no_ladder,
+        seed=args.rt_seed,
+    )
+    cfg = dc_replace(SimulationConfig(), realtime=rt)
+    if args.loss > 0:
+        cfg = dc_replace(cfg, faults=FaultConfig(packet_loss=args.loss,
+                                                 seed=args.fault_seed))
+    result = simulate_realtime(cfg, n_frames=args.frames,
+                               profile=workload(args.video))
+    late = result.lateness
+    rows = [
+        ["frames delivered", f"{int(result.delivered.sum())}"
+                             f"/{result.n_frames}"],
+        ["deadline misses", f"{int(result.miss.sum())} "
+                            f"({result.deadline_miss_fraction:.2%})"],
+        ["p99 lateness", f"{result.p99_lateness() / MS:.2f} ms"],
+        ["mean lateness", f"{(late.mean() if len(late) else 0.0) / MS:.3f}"
+                          f" ms"],
+        ["concealed blocks", f"{int(result.lost_blocks.sum())} "
+                             f"({result.concealed_fraction:.3%})"],
+        ["ladder", f"{result.downscaled_frames} downscaled, "
+                   f"{result.frozen_frames} frozen, "
+                   f"{result.skipped_frames} skipped"],
+        ["recovery", f"{result.fec_frames} FEC frames, "
+                     f"{result.retx_frames} retx frames, "
+                     f"overhead {result.byte_overhead:.2%}"],
+        ["emergent drops", f"{result.overflow_drops} overflow, "
+                           f"{result.red_drops} RED, "
+                           f"{result.injected_drops} injected"],
+        ["send rate", f"{result.send_rate[-1] / MBPS:.2f} Mbps final "
+                      f"(mean {result.send_rate.mean() / MBPS:.2f})"],
+        ["energy", f"decode {result.decode_energy:.2f} J, "
+                   f"sleep {result.sleep_energy:.2f} J, "
+                   f"radio {result.radio_energy:.2f} J "
+                   f"(recovery {result.recovery_energy:.3f} J)"],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.video} realtime, {args.frames} frames @ "
+              f"{args.rate_mbps:g} Mbps link, "
+              f"{args.budget_ms:g} ms budget, "
+              f"recovery={args.recovery}"))
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .realtime import run_chaos
+
+    if args.smoke:
+        sessions, frames, cap = 6, 300, 420
+    else:
+        sessions, frames, cap = args.sessions, args.frames, args.frame_cap
+
+    result = run_chaos(sessions=sessions, n_frames=frames,
+                       fleet_frame_cap=cap, seed=args.seed,
+                       shards=args.shards)
+    print(result.report())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_jsonable(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote campaign to {args.json}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import (
         Baseline,
@@ -532,6 +619,50 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--json", default=None,
                        help="also write the FleetResult JSON here")
     fleet.set_defaults(func=_cmd_fleet)
+
+    realtime = sub.add_parser(
+        "realtime", help="emergent-impairment live session: bottleneck "
+                         "queue, congestion control, FEC/retx, ladder")
+    realtime.add_argument("--video", default="V8")
+    realtime.add_argument("--frames", type=int, default=600)
+    realtime.add_argument("--rate-mbps", type=float, default=8.0,
+                          help="bottleneck link rate")
+    realtime.add_argument("--prop-ms", type=float, default=20.0,
+                          help="one-way propagation delay")
+    realtime.add_argument("--budget-ms", type=float, default=150.0,
+                          help="per-frame latency budget")
+    realtime.add_argument("--recovery", default="adaptive",
+                          choices=("fec", "retx", "adaptive"))
+    realtime.add_argument("--no-ladder", action="store_true",
+                          help="disable the deadline degradation ladder")
+    realtime.add_argument("--loss", type=float, default=0.0,
+                          help="injected per-packet loss on top of the "
+                               "emergent queue loss")
+    realtime.add_argument("--rt-seed", type=int, default=0,
+                          help="seed of the realtime link/source draws")
+    realtime.add_argument("--fault-seed", type=int, default=0,
+                          help="seed of the injected packet-loss plan")
+    realtime.set_defaults(func=_cmd_realtime)
+
+    chaos = sub.add_parser(
+        "chaos", help="chaos campaign: impairment regimes over the "
+                      "matrix and the fleet, SLO scoring")
+    chaos.add_argument("--sessions", type=int, default=32,
+                       help="fleet sessions per regime")
+    chaos.add_argument("--frames", type=int, default=360,
+                       help="frames per matrix session")
+    chaos.add_argument("--frame-cap", type=int, default=480,
+                       help="frame cap per fleet session")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--shards", type=int, default=1,
+                       help="job stripes folded independently; the "
+                            "campaign is bit-identical for any value")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="tiny CI-sized campaign (6 sessions, "
+                            "300 frames)")
+    chaos.add_argument("--json", default=None,
+                       help="also write the ChaosResult JSON here")
+    chaos.set_defaults(func=_cmd_chaos)
 
     lint = sub.add_parser(
         "lint", help="static invariant checks: determinism, units, "

@@ -480,7 +480,14 @@ class FaultConfig:
     * ``block_bit_error`` — per-*bit* error rate in decoded
       macroblocks (a 48-byte block flips with ~384x this rate);
     * ``digest_collision`` — per-lookup probability that a MACH match
-      is actually a hash collision pointing at the wrong content.
+      is actually a hash collision pointing at the wrong content;
+    * ``packet_loss`` — realtime mode only: per-packet erasure rate on
+      top of whatever the bottleneck queue drops emergently (models
+      radio-layer losses past the bottleneck; the packet still
+      traverses the queue, so for a given send pattern injection
+      composes without perturbing which packets the queue drops —
+      closed-loop, the congestion controller reacts to the extra
+      loss exactly as a real sender would).
 
     Resilience knobs:
 
@@ -500,6 +507,7 @@ class FaultConfig:
     segment_timeout_rate: float = 0.0
     block_bit_error: float = 0.0
     digest_collision: float = 0.0
+    packet_loss: float = 0.0  # realtime mode: per-packet erasure rate
     seed: int = 0
 
     max_retries: int = 3
@@ -510,7 +518,8 @@ class FaultConfig:
 
     def __post_init__(self) -> None:
         for name in ("segment_loss", "segment_corruption",
-                     "segment_timeout_rate", "digest_collision"):
+                     "segment_timeout_rate", "digest_collision",
+                     "packet_loss"):
             value = getattr(self, name)
             _require(0.0 <= value <= 1.0, f"{name} must be in [0, 1]")
         _require(self.segment_loss + self.segment_corruption
@@ -533,7 +542,7 @@ class FaultConfig:
     def enabled(self) -> bool:
         """Any non-zero injection rate (resilience knobs alone are inert)."""
         return (self.injects_delivery or self.block_bit_error > 0
-                or self.digest_collision > 0)
+                or self.digest_collision > 0 or self.packet_loss > 0)
 
 
 @dataclass(frozen=True)
@@ -617,6 +626,116 @@ class ThermalConfig:
 
 
 @dataclass(frozen=True)
+class RealtimeConfig:
+    """Live/interactive video mode: emergent-impairment link + recovery.
+
+    Default-disabled and fully inert: with ``enabled=False`` nothing in
+    the paper-mode pipeline consults this config, so results stay
+    bit-identical to the pre-realtime tree.  When enabled,
+    :mod:`repro.realtime` simulates a camera-to-display loop with a
+    hard per-frame latency budget instead of a playback buffer:
+
+    * a deterministic **bottleneck-queue link** (token-bucket service
+      at ``link_rate``, a finite ``queue_bytes`` buffer with droptail
+      and RED-style early drops, ``propagation_delay`` each way) so
+      loss and queueing delay are *emergent* from offered load —
+      ``FaultConfig.packet_loss`` injection composes on top;
+    * a **delay/loss congestion controller** (GCC-style queue-delay
+      gradient plus loss backoff) pacing the per-frame send rate;
+    * per-frame **FEC (XOR parity groups) vs bounded retransmission**,
+      chosen against the deadline when ``recovery="adaptive"``;
+    * a **deadline-miss degradation ladder**
+      (:class:`repro.core.race_to_sleep.DeadlineLadder`):
+      nominal → downscale → freeze → skip, least-degraded-first.
+
+    ``rate_schedule`` / ``delay_schedule`` are piecewise-constant
+    impairment timelines: ``(t, x)`` pairs meaning "from time ``t``,
+    the link rate is scaled by ``x``" (resp. "``x`` seconds are added
+    to the one-way propagation delay").  The chaos harness
+    (:mod:`repro.realtime.chaos`) builds its regimes from these.
+    """
+
+    enabled: bool = False
+    latency_budget: float = 0.150  # s capture-to-delivery deadline
+    mtu_bytes: int = 1200  # payload bytes per packet
+
+    # -- bottleneck link ----------------------------------------------
+    link_rate: float = 8 * MBPS  # bytes/s bottleneck service rate
+    queue_bytes: int = 96_000  # bottleneck buffer depth in bytes
+    propagation_delay: float = 0.020  # s one-way, queue excluded
+    red_min_fill: float = 0.55  # queue fill where early drop starts
+    red_max_fill: float = 0.95  # queue fill of max early-drop prob
+    red_max_drop: float = 0.25  # early-drop prob at red_max_fill
+    rate_schedule: Tuple[Tuple[float, float], ...] = ()  # (s, multiplier)
+    delay_schedule: Tuple[Tuple[float, float], ...] = ()  # (s, extra s)
+
+    # -- congestion controller ----------------------------------------
+    start_rate: float = 4 * MBPS  # bytes/s initial send rate
+    min_rate: float = 0.4 * MBPS  # bytes/s controller floor
+    max_rate: float = 20 * MBPS  # bytes/s controller ceiling
+    gradient_threshold: float = 1.5 * MS  # s/frame queue-delay slope trip
+    delay_target: float = 0.040  # s standing queue delay that trips backoff
+    increase_factor: float = 1.04  # multiplicative probe when clear
+    decrease_factor: float = 0.85  # multiplicative overuse backoff
+    loss_threshold: float = 0.05  # loss fraction that forces backoff
+
+    # -- recovery -----------------------------------------------------
+    recovery: str = "adaptive"  # 'fec' | 'retx' | 'adaptive'
+    fec_group: int = 8  # data packets per XOR parity group
+    max_retx: int = 2  # retransmission attempts per lost packet
+    retx_rtt_factor: float = 0.5  # extra RTTs of backoff per re-attempt
+
+    # -- degradation ladder -------------------------------------------
+    ladder: bool = True
+    downscale_factor: float = 0.55  # frame-bytes factor at 'downscale'
+    freeze_fraction: float = 0.06  # frame-bytes factor at 'freeze'
+
+    seed: int = 0  # seeds emergent RED drops and size jitter
+
+    def __post_init__(self) -> None:
+        _require(self.latency_budget > 0, "latency budget must be positive")
+        _require(self.mtu_bytes >= 64, "mtu_bytes must be >= 64")
+        _require(self.link_rate > 0, "link rate must be positive")
+        _require(self.queue_bytes >= self.mtu_bytes,
+                 "queue must hold at least one packet")
+        _require(self.propagation_delay >= 0,
+                 "propagation delay cannot be negative")
+        _require(0.0 <= self.red_min_fill < self.red_max_fill <= 1.0,
+                 "need 0 <= red_min_fill < red_max_fill <= 1")
+        _require(0.0 <= self.red_max_drop <= 1.0,
+                 "red_max_drop must be in [0, 1]")
+        for name in ("rate_schedule", "delay_schedule"):
+            schedule = getattr(self, name)
+            times = [t for t, _ in schedule]
+            _require(times == sorted(times) and all(t >= 0 for t in times),
+                     f"{name} times must be sorted and non-negative")
+        _require(all(x >= 0 for _, x in self.rate_schedule),
+                 "rate multipliers cannot be negative")
+        _require(all(x >= 0 for _, x in self.delay_schedule),
+                 "extra delays cannot be negative")
+        _require(0 < self.min_rate <= self.start_rate <= self.max_rate,
+                 "need 0 < min_rate <= start_rate <= max_rate")
+        _require(self.gradient_threshold > 0,
+                 "gradient threshold must be positive")
+        _require(self.delay_target > 0,
+                 "delay target must be positive")
+        _require(self.increase_factor >= 1.0,
+                 "increase factor must be >= 1")
+        _require(0.0 < self.decrease_factor < 1.0,
+                 "decrease factor must be in (0, 1)")
+        _require(0.0 < self.loss_threshold <= 1.0,
+                 "loss threshold must be in (0, 1]")
+        _require(self.recovery in ("fec", "retx", "adaptive"),
+                 f"unknown recovery mode: {self.recovery!r}")
+        _require(self.fec_group >= 1, "fec_group must be >= 1")
+        _require(self.max_retx >= 0, "max_retx cannot be negative")
+        _require(self.retx_rtt_factor >= 0,
+                 "retx_rtt_factor cannot be negative")
+        _require(0.0 < self.freeze_fraction < self.downscale_factor < 1.0,
+                 "need 0 < freeze_fraction < downscale_factor < 1")
+
+
+@dataclass(frozen=True)
 class SchemeConfig:
     """One of the paper's evaluated schemes (Fig. 11 legend).
 
@@ -680,6 +799,7 @@ class SimulationConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
     thermal: ThermalConfig = field(default_factory=ThermalConfig)
+    realtime: RealtimeConfig = field(default_factory=RealtimeConfig)
     calibration: PaperCalibration = field(default_factory=PaperCalibration)
     seed: int = 0
 

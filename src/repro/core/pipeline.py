@@ -20,7 +20,7 @@ per-access timestamps so DRAM row interleaving is faithful.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -171,6 +171,7 @@ def simulate(
     buffer_policy: str = "lazy",
     network_model: Optional[FrameSource] = None,
     vectorized: bool = True,
+    block_loss_overlay: Optional[Mapping[int, np.ndarray]] = None,
 ) -> RunResult:
     """Simulate playback of ``source`` under ``scheme``.
 
@@ -196,6 +197,12 @@ def simulate(
             ``False`` forces the retained scalar per-block reference
             everywhere — the two settings produce bit-identical
             results, which the equivalence suite asserts.
+        block_loss_overlay: per-frame macroblock indices lost upstream
+            of the decoder (the realtime mode's unrecovered packets,
+            :meth:`repro.realtime.RealtimeResult.block_overlay`).
+            They conceal through the same path as injected bit errors
+            — the union of both sources, so composing them never
+            reshuffles either schedule.  ``None`` (default) is inert.
 
     Returns:
         A :class:`RunResult` with the energy breakdown and statistics.
@@ -498,9 +505,17 @@ def simulate(
             traffic.add("vd_read", reads.times, reads.addresses,
                         is_write=False)
 
-            if fault_plan is not None:
-                corrupt = fault_plan.corrupt_block_indices(
-                    index, frame.n_blocks, frame.block_bytes)
+            if fault_plan is not None or block_loss_overlay is not None:
+                if fault_plan is not None:
+                    corrupt = fault_plan.corrupt_block_indices(
+                        index, frame.n_blocks, frame.block_bytes)
+                else:
+                    corrupt = np.empty(0, dtype=np.int64)
+                if block_loss_overlay is not None:
+                    lost = block_loss_overlay.get(index)
+                    if lost is not None and len(lost):
+                        corrupt = np.union1d(
+                            corrupt, np.asarray(lost, dtype=np.int64))
                 if len(corrupt):
                     # Copy before concealing: the stream may derive
                     # later frames from this buffer, and the source

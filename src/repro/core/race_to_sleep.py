@@ -236,3 +236,63 @@ class AdaptiveRtSGovernor(RaceToSleepGovernor):
         self.max_step = max(self.max_step, step)
         return AdaptivePlan(wake, LADDER_STEPS[step], cap, False,
                             allow_s3, step)
+
+
+#: Realtime deadline-ladder step names, indexed by the step the
+#: :class:`DeadlineLadder` picks for a frame.
+REALTIME_LADDER_STEPS = ("nominal", "downscale", "freeze", "skip")
+
+
+class DeadlineLadder:
+    """Deadline-miss degradation ladder for the realtime mode.
+
+    Where :class:`AdaptiveRtSGovernor` degrades *scheduling* (batch
+    depth, sleep depth) under thermal pressure, this ladder degrades
+    the *frame itself* when the link cannot deliver it inside the
+    latency budget — the realtime sibling of the same
+    least-degraded-first contract:
+
+    0. **nominal** — the full-size frame is predicted to arrive by the
+       deadline; send it untouched;
+    1. **downscale** — shrink the encode to ``downscale_factor`` of
+       the target bytes (lower resolution / coarser quantizer);
+    2. **freeze** — send only a ``freeze_fraction``-sized refresh so
+       the display repeats the previous frame without drifting;
+    3. **skip** — send nothing and let the queue drain; the display
+       repeats the previous frame.
+
+    ``predict(bytes_factor)`` must return the predicted completion
+    time of a frame encoded at that fraction of the target size; the
+    ladder walks the steps in order and stops at the first one whose
+    prediction meets the deadline, so a frame is never degraded more
+    than the link state warrants.
+    """
+
+    def __init__(self, downscale_factor: float,
+                 freeze_fraction: float) -> None:
+        self._factors = (1.0, downscale_factor, freeze_fraction)
+        self.downscaled = 0
+        self.frozen = 0
+        self.skipped = 0
+        self.degradation_steps = 0
+
+    def choose(self, deadline: float,
+               predict: Callable[[float], float]) -> tuple[int, float]:
+        """Least-degraded step whose prediction meets ``deadline``.
+
+        Returns ``(step, bytes_factor)``; ``bytes_factor`` is 0.0 for
+        a skipped frame.
+        """
+        for step, factor in enumerate(self._factors):
+            if predict(factor) <= deadline:
+                break
+        else:
+            step, factor = 3, 0.0
+        self.degradation_steps += step
+        if step == 1:
+            self.downscaled += 1
+        elif step == 2:
+            self.frozen += 1
+        elif step == 3:
+            self.skipped += 1
+        return step, factor

@@ -65,6 +65,11 @@ class FleetError(ReproError):
     stale calibration, shard bookkeeping errors)."""
 
 
+class RealtimeError(ReproError):
+    """The realtime (live/interactive) mode was misconfigured or a
+    chaos campaign's shards disagreed on their aggregation params."""
+
+
 class LintError(ReproError):
     """The static-analysis pass was misconfigured or could not read
     a target (unknown rule id, unparseable file, bad baseline)."""

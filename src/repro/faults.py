@@ -44,6 +44,7 @@ _SITE_SEGMENT = 0x5E67
 _SITE_LOSS_FRACTION = 0x10F5
 _SITE_BLOCK = 0xB10C
 _SITE_COLLISION = 0xC011
+_SITE_PACKET = 0x9ACF
 
 _MASK64 = (1 << 64) - 1
 #: 2**-53 — maps the top 53 bits of a hash to a uniform in [0, 1).
@@ -133,6 +134,22 @@ class FaultPlan:
         u = _hash_u01(self.config.seed, _SITE_LOSS_FRACTION,
                       segment_index, attempt)
         return 0.05 + 0.90 * u  # never exactly 0 or 1
+
+    def packet_lost(self, frame_index: int, packet_index: int,
+                    attempt: int) -> bool:
+        """Injected erasure of one realtime packet (past the bottleneck).
+
+        Keyed on ``(frame, packet, attempt)`` so the draw is
+        order-free: retransmissions of the same packet re-roll, and
+        composing with emergent queue loss cannot reshuffle the
+        schedule (the emergent drops use the realtime seed and a
+        different site, not this plan).
+        """
+        rate = self.config.packet_loss
+        if rate <= 0.0:
+            return False
+        return _hash_u01(self.config.seed, _SITE_PACKET, frame_index,
+                         packet_index, attempt) < rate
 
     # -- decode -----------------------------------------------------------
 

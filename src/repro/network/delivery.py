@@ -44,7 +44,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -189,7 +189,7 @@ def _resolve_abr(network: NetworkConfig) -> AbrPolicy:
     return make_abr(network.abr)
 
 
-def _harmonic_mean(samples) -> float:
+def _harmonic_mean(samples: Iterable[float]) -> float:
     values = [s for s in samples if s > 0 and not math.isinf(s)]
     if not values:
         return 0.0
@@ -299,7 +299,15 @@ def simulate_delivery(
             if model.is_idle_at(start, last_busy_end):
                 start += radio.promotion_latency
             finish = trace.transfer_time(size, start)
-            if math.isinf(finish):
+            if math.isinf(finish) and fault_cfg is None:
+                # Without a fault plan there is no timeout machinery to
+                # bound the attempt, so a dead tail is fatal.  With one,
+                # every branch below yields a finite failure_end: the
+                # natural-timeout check catches ``inf > timeout_end``
+                # (also shielding CORRUPT's full-transfer accounting)
+                # and LOSS clamps ``inf * frac`` to the timeout — the
+                # attempt times out deterministically instead of
+                # depending on where the retry landed in the trace.
                 raise NetworkError(
                     f"trace {trace.name!r} has no bandwidth left for "
                     f"segment {segment.index}")

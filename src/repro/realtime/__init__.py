@@ -1,0 +1,50 @@
+"""Realtime (live/interactive) video mode with emergent impairments.
+
+Where the VOD path (:mod:`repro.network`) streams segments into a
+playback buffer over a *given* bandwidth trace, this package simulates
+a camera-to-display loop against a hard per-frame latency budget, and
+its impairments are **emergent** rather than scripted:
+
+* :mod:`~repro.realtime.link` — a deterministic bottleneck-queue link
+  (token-bucket service, finite queue, droptail + RED-style early
+  drops, propagation delay).  Loss and delay fall out of offered load
+  vs. service rate; :class:`repro.faults.FaultPlan` packet erasures
+  compose on top without perturbing the queue dynamics.
+* :mod:`~repro.realtime.congestion` — a GCC-style delay-gradient +
+  loss-backoff controller pacing the per-frame send rate.
+* :mod:`~repro.realtime.fec` — XOR parity groups and the FEC-vs-
+  retransmission arithmetic.
+* :mod:`~repro.realtime.session` — the per-frame loop: deadline
+  ladder (:class:`repro.core.race_to_sleep.DeadlineLadder`), recovery,
+  race-to-sleep energy accounting, and the
+  :class:`~repro.realtime.session.RealtimeResult` summary; plus the
+  bridge that feeds arrivals and unrecovered blocks into the exact
+  decode pipeline (:func:`~repro.realtime.session.realtime_playback`).
+* :mod:`~repro.realtime.chaos` — the chaos-campaign harness sweeping
+  impairment regimes across the workload matrix and the fleet
+  population into exactly-mergeable SLO aggregates.
+
+Everything is gated behind ``RealtimeConfig(enabled=True)``; with the
+default config this package is never imported by the paper pipeline.
+"""
+
+from .chaos import CHAOS_REGIMES, ChaosRegime, ChaosResult, RegimeSLO, run_chaos
+from .congestion import DelayLossController
+from .fec import apply_fec, parity_count
+from .link import BottleneckLink
+from .session import RealtimeResult, realtime_playback, simulate_realtime
+
+__all__ = [
+    "BottleneckLink",
+    "CHAOS_REGIMES",
+    "ChaosRegime",
+    "ChaosResult",
+    "DelayLossController",
+    "RegimeSLO",
+    "RealtimeResult",
+    "apply_fec",
+    "parity_count",
+    "realtime_playback",
+    "run_chaos",
+    "simulate_realtime",
+]

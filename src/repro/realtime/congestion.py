@@ -1,0 +1,66 @@
+"""Delay/loss-based congestion control for the realtime sender.
+
+A small GCC-flavoured controller: it watches the *queue-delay
+gradient* (is the bottleneck backlog growing?) and the per-frame loss
+fraction, and adjusts a target send rate multiplicatively —
+
+* loss above ``loss_threshold`` → back off proportionally to the loss
+  (the TCP-friendly half of GCC);
+* queue delay rising faster than ``gradient_threshold`` per frame, or
+  a standing queue above ``delay_target`` → overuse, decrease by
+  ``decrease_factor`` (the delay half: react *before* the queue
+  overflows — the absolute target drains a sawtooth that would
+  otherwise park the queue at the RED onset);
+* otherwise → probe upward by ``increase_factor``.
+
+The controller is pure state-machine arithmetic — no randomness, no
+clocks — so a (seed, config) pair fully determines the rate trajectory
+given the link's emergent feedback.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import RealtimeConfig
+
+#: Hard floor on the multiplicative loss backoff: even a 100 % loss
+#: frame halves the rate rather than zeroing it (mirrors GCC).
+_MAX_LOSS_BACKOFF = 0.5
+
+
+class DelayLossController:
+    """Per-frame send-rate governor (bytes/s)."""
+
+    def __init__(self, cfg: RealtimeConfig) -> None:
+        self.cfg = cfg
+        self.rate = cfg.start_rate  # bytes/s current target
+        self._prev_delay = 0.0
+        self.loss_events = 0
+        self.overuse_events = 0
+
+    def observe(self, queue_delay: float, loss_fraction: float) -> float:
+        """Fold one frame's feedback into the rate; returns the new rate.
+
+        ``queue_delay`` is the mean queueing delay the frame's packets
+        saw (infinite delays from a dead link are treated as maximal
+        overuse); ``loss_fraction`` counts losses *before* recovery —
+        the wire signal a real controller would see.
+        """
+        cfg = self.cfg
+        if math.isinf(queue_delay):
+            gradient = math.inf
+        else:
+            gradient = queue_delay - self._prev_delay
+            self._prev_delay = queue_delay
+        if loss_fraction > cfg.loss_threshold:
+            self.loss_events += 1
+            self.rate *= max(_MAX_LOSS_BACKOFF, 1.0 - 0.5 * loss_fraction)
+        elif (gradient > cfg.gradient_threshold
+              or queue_delay > cfg.delay_target):
+            self.overuse_events += 1
+            self.rate *= cfg.decrease_factor
+        else:
+            self.rate *= cfg.increase_factor
+        self.rate = min(cfg.max_rate, max(cfg.min_rate, self.rate))
+        return self.rate

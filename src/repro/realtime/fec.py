@@ -1,0 +1,51 @@
+"""XOR parity-group FEC arithmetic.
+
+The realtime sender protects each frame with single-parity XOR groups:
+every ``group`` consecutive data packets get one parity packet that is
+the bitwise XOR of the group.  XOR parity recovers **exactly one**
+erasure per group — the missing packet is the XOR of the survivors and
+the parity — and nothing more; a group with two losses keeps them.
+
+The functions here are pure arithmetic over arrival times: a recovered
+packet's content becomes available only when every *other* packet of
+its group plus the parity has arrived (the XOR needs all of them), so
+FEC trades constant byte overhead for zero extra round trips — which
+is precisely why it wins over retransmission when the RTT does not fit
+the latency budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def parity_count(n_data: int, group: int) -> int:
+    """Parity packets protecting ``n_data`` data packets."""
+    if n_data <= 0:
+        return 0
+    return (n_data + group - 1) // group
+
+
+def apply_fec(data_arrival: Sequence[float],
+              parity_arrival: Sequence[float],
+              group: int) -> List[float]:
+    """Effective per-data-packet arrival times after XOR recovery.
+
+    ``data_arrival[i]`` is the wire arrival of data packet ``i``
+    (``math.inf`` if lost); ``parity_arrival[g]`` likewise for the
+    parity of group ``g``.  A group with exactly one lost data packet
+    and a delivered parity recovers: the lost packet's effective
+    arrival becomes the time the last needed packet arrived.  All
+    other losses stay ``math.inf``.
+    """
+    out = list(data_arrival)
+    n = len(data_arrival)
+    for g in range(len(parity_arrival)):
+        lo, hi = g * group, min((g + 1) * group, n)
+        lost = [i for i in range(lo, hi) if math.isinf(data_arrival[i])]
+        if len(lost) != 1 or math.isinf(parity_arrival[g]):
+            continue
+        survivors = [data_arrival[i] for i in range(lo, hi) if i != lost[0]]
+        out[lost[0]] = max(survivors + [parity_arrival[g]])
+    return out

@@ -1,0 +1,203 @@
+"""Deterministic bottleneck-queue link model (emergent loss + delay).
+
+The link is a single FIFO bottleneck: packets enqueue into a finite
+byte buffer that drains at the (piecewise-constant) service rate, then
+cross a propagation delay.  Everything an impaired network does to a
+realtime flow falls out of that little machine:
+
+* **queueing delay** grows with the backlog the sender itself built;
+* **droptail loss** strikes when a packet does not fit the buffer;
+* **RED-style early drops** strike probabilistically once the fill
+  crosses ``red_min_fill``, with probability ramping linearly to
+  ``red_max_drop`` at ``red_max_fill`` — drawn from the same
+  order-free splitmix64 mixer as :mod:`repro.faults`, keyed by
+  ``(seed, site, frame, packet, attempt)``, so the drop schedule is a
+  pure function of ``(seed, link params, traffic)`` and never depends
+  on Python iteration order;
+* **rate cliffs / RTT spikes** come from the config's
+  ``rate_schedule`` / ``delay_schedule`` piecewise timelines.
+
+Injected :class:`~repro.faults.FaultPlan` packet erasures model losses
+*past* the bottleneck (the radio hop): an injected-lost packet still
+traverses the queue and consumes service, so enabling injection cannot
+change which packets the queue itself drops — injection composes with
+emergent loss instead of reshuffling it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..config import RealtimeConfig
+from ..errors import RealtimeError
+from ..faults import hash_u01
+
+#: Hash-site discriminator for emergent RED drops (style of the
+#: :mod:`repro.faults` site constants; drawn from the *realtime* seed,
+#: not the fault seed, so emergent and injected schedules never mix).
+_SITE_RED = 0x4ED5
+
+
+@dataclass
+class BurstOutcome:
+    """What the link did to one burst of packets.
+
+    ``arrival[i]`` is ``math.inf`` for a packet that was dropped (by
+    the queue) or erased (injected); ``queue_delay[i]`` is the
+    queueing delay the packet saw at enqueue time (0.0 for drops that
+    never entered the queue).
+    """
+
+    arrival: List[float]  # s absolute delivery time, inf if lost
+    queue_delay: List[float]  # s spent queued at the bottleneck
+    enqueued_bytes: int  # bytes that entered the queue
+
+
+class BottleneckLink:
+    """Single-bottleneck FIFO with finite buffer and scheduled capacity.
+
+    The state is one ``(clock, backlog)`` pair; :meth:`drain` advances
+    the clock and services the backlog by integrating the capacity
+    schedule, so any non-decreasing sequence of send times yields the
+    same evolution.  Out-of-order timestamps (a retransmission planned
+    past the next frame's capture) are clamped to the current clock —
+    the queue is a FIFO, so serialising them early only ever *advances*
+    work, never reorders it.
+    """
+
+    def __init__(self, cfg: RealtimeConfig) -> None:
+        if not cfg.enabled:
+            raise RealtimeError("BottleneckLink needs RealtimeConfig.enabled")
+        self.cfg = cfg
+        self.clock = 0.0  # s, last drain time
+        self.backlog = 0.0  # bytes currently queued
+        self.overflow_drops = 0
+        self.red_drops = 0
+        self.injected_drops = 0
+        self.delivered_packets = 0
+        self._rate_times = tuple(t for t, _ in cfg.rate_schedule)
+
+    # -- schedules ---------------------------------------------------------
+
+    def capacity(self, t: float) -> float:
+        """Service rate (bytes/s) in effect at time ``t``."""
+        scale = 1.0
+        for start, mult in self.cfg.rate_schedule:
+            if t < start:
+                break
+            scale = mult
+        return self.cfg.link_rate * scale
+
+    def propagation_delay(self, t: float) -> float:
+        """One-way propagation delay (s) in effect at time ``t``."""
+        extra = 0.0
+        for start, add in self.cfg.delay_schedule:
+            if t < start:
+                break
+            extra = add
+        return self.cfg.propagation_delay + extra
+
+    # -- queue evolution ---------------------------------------------------
+
+    def drain(self, upto: float) -> None:
+        """Service the backlog up to time ``upto`` (no-op going back)."""
+        if upto <= self.clock:
+            return
+        t = self.clock
+        for boundary in self._rate_times:
+            if boundary <= t:
+                continue
+            if boundary >= upto:
+                break
+            self.backlog = max(0.0, self.backlog
+                               - self.capacity(t) * (boundary - t))
+            t = boundary
+        self.backlog = max(0.0, self.backlog
+                           - self.capacity(t) * (upto - t))
+        self.clock = upto
+
+    def queue_delay(self, t: float) -> float:
+        """Delay a packet enqueued *now* would see (current backlog)."""
+        capacity = self.capacity(t)
+        if capacity <= 0.0:
+            return math.inf
+        return self.backlog / capacity
+
+    def rtt_estimate(self, t: float) -> float:
+        """Round-trip estimate: both propagation legs + current queue."""
+        return 2.0 * self.propagation_delay(t) + self.queue_delay(t)
+
+    def predict_arrival(self, t: float, size: float) -> float:
+        """Predicted delivery time of ``size`` more bytes sent at ``t``.
+
+        Uses the current backlog and capacity; the deadline ladder
+        feeds this its candidate encode sizes.
+        """
+        capacity = self.capacity(t)
+        if capacity <= 0.0:
+            return math.inf
+        return t + (self.backlog + size) / capacity \
+            + self.propagation_delay(t)
+
+    # -- sending -----------------------------------------------------------
+
+    def send_packet(self, t: float, frame_index: int, packet_index: int,
+                    attempt: int, size: int,
+                    injected_lost: bool) -> Tuple[float, float]:
+        """Offer one packet to the queue at time ``t``.
+
+        Returns ``(arrival, queue_delay)``; arrival is ``math.inf``
+        when the packet was dropped or erased.
+        """
+        self.drain(t)
+        t = self.clock  # out-of-order sends serialise at the clock
+        cfg = self.cfg
+        if self.backlog + size > cfg.queue_bytes:
+            self.overflow_drops += 1
+            return math.inf, 0.0
+        fill = self.backlog / cfg.queue_bytes
+        if fill > cfg.red_min_fill and cfg.red_max_drop > 0.0:
+            ramp = ((fill - cfg.red_min_fill)
+                    / (cfg.red_max_fill - cfg.red_min_fill))
+            p_drop = cfg.red_max_drop * min(1.0, ramp)
+            u = hash_u01(cfg.seed, _SITE_RED, frame_index, packet_index,
+                         attempt)
+            if u < p_drop:
+                self.red_drops += 1
+                return math.inf, 0.0
+        self.backlog += size
+        delay = self.queue_delay(t)
+        arrival = t + delay + self.propagation_delay(t)
+        if injected_lost:
+            self.injected_drops += 1
+            return math.inf, delay
+        self.delivered_packets += 1
+        return arrival, delay
+
+    def send_burst(self, t: float, frame_index: int,
+                   sizes: Sequence[int], attempt: int,
+                   injected: Sequence[bool],
+                   packet_offset: int = 0) -> BurstOutcome:
+        """Offer a burst of packets (one frame, or its parity tail).
+
+        ``packet_offset`` shifts the packet indices fed to the RED and
+        injection draws so parity packets never share coordinates with
+        data packets.
+        """
+        if len(sizes) != len(injected):
+            raise RealtimeError("sizes and injected flags must align")
+        arrival: List[float] = []
+        queue_delay: List[float] = []
+        enqueued = 0
+        for j, size in enumerate(sizes):
+            before = self.backlog
+            a, d = self.send_packet(t, frame_index, packet_offset + j,
+                                    attempt, size, injected[j])
+            arrival.append(a)
+            queue_delay.append(d)
+            if self.backlog > before:
+                enqueued += size
+        return BurstOutcome(arrival=arrival, queue_delay=queue_delay,
+                            enqueued_bytes=enqueued)

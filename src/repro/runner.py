@@ -319,7 +319,7 @@ def run_matrix(
 
     remaining = jobs
     last_error: Dict[MatrixKey, str] = {}
-    for attempt in range(1 + max_retries):
+    for _attempt in range(1 + max_retries):
         if not remaining:
             break
         if processes <= 1 or len(remaining) <= 1:

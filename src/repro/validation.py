@@ -409,6 +409,70 @@ def validate_against_paper(
     add("cell-contention fleet dominates private-trace fleet",
         ">1.0x energy, more stalls", energy_ratio, dominates)
 
+    # --- realtime: emergent impairments, recovery, and the ladder ---------
+    report("realtime")
+    from .config import RealtimeConfig
+    from .realtime import simulate_realtime
+    from .units import MBPS
+
+    # 1. FEC beats bounded retransmission on deadline-miss fraction when
+    #    the RTT does not fit the latency budget, at comparable byte
+    #    overhead.  One-way propagation of 70 ms against a 150 ms budget
+    #    means any retransmission arrives a full RTT (~140 ms + queue)
+    #    late, while XOR parity rides along with the first pass.  Loss
+    #    backoff is disabled (loss_threshold=1) so the 20 % injected
+    #    loss prices both modes identically and only the delay half of
+    #    the controller shapes the send rate.
+    rt_profile = workload("V8")
+    rt_frames = max(frames, 240)
+
+    def recovery_run(mode: str):
+        rt = RealtimeConfig(
+            enabled=True, propagation_delay=0.070, latency_budget=0.150,
+            link_rate=6 * MBPS, start_rate=3 * MBPS, min_rate=1 * MBPS,
+            max_rate=4 * MBPS, ladder=False, fec_group=6, max_retx=2,
+            loss_threshold=1.0, recovery=mode, seed=seed)
+        rt_cfg = dc_replace(cfg, realtime=rt,
+                            faults=FaultConfig(packet_loss=0.20, seed=seed))
+        return simulate_realtime(rt_cfg, n_frames=rt_frames,
+                                 profile=rt_profile)
+
+    fec_run = recovery_run("fec")
+    retx_run = recovery_run("retx")
+    overhead_ratio = fec_run.byte_overhead / max(retx_run.byte_overhead,
+                                                 1e-12)
+    miss_ratio = (fec_run.deadline_miss_fraction
+                  / max(retx_run.deadline_miss_fraction, 1e-12))
+    fec_wins = (retx_run.deadline_miss_fraction > 0
+                and miss_ratio < 0.5
+                and 1 / 1.5 < overhead_ratio < 1.5)
+    add("FEC beats retx on deadline misses at high RTT (equal overhead)",
+        "<0.5x misses, overhead within 1.5x", miss_ratio, fec_wins)
+
+    # 2. The deadline ladder converts lateness into bounded degradation:
+    #    under bandwidth cliffs it must strictly cut p99 frame lateness
+    #    versus the same session with the ladder disabled, at no more
+    #    than 5 % extra energy.
+    cliff = ((3.0, 0.22), (6.0, 1.0), (9.0, 0.22), (12.0, 1.0))
+
+    def ladder_run(ladder: bool):
+        rt = RealtimeConfig(enabled=True, link_rate=6 * MBPS,
+                            ladder=ladder, rate_schedule=cliff, seed=seed)
+        return simulate_realtime(dc_replace(cfg, realtime=rt),
+                                 n_frames=max(2 * frames, 480),
+                                 profile=rt_profile)
+
+    with_ladder = ladder_run(True)
+    without_ladder = ladder_run(False)
+    rt_energy_ratio = with_ladder.total_energy / without_ladder.total_energy
+    ladder_helps = (without_ladder.p99_lateness() > 0
+                    and with_ladder.p99_lateness()
+                    < without_ladder.p99_lateness()
+                    and with_ladder.degradation_steps > 0
+                    and rt_energy_ratio <= 1.05)
+    add("deadline ladder strictly cuts p99 lateness under cliffs",
+        "lower p99, <=1.05x energy", rt_energy_ratio, ladder_helps)
+
     return checks
 
 

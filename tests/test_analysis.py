@@ -100,7 +100,7 @@ class TestCensus:
     def test_per_frame_records(self, short_stream):
         census = content_census(short_stream)
         assert len(census.per_frame) == len(short_stream)
-        for index, intra, inter, none in census.per_frame:
+        for _index, intra, inter, none in census.per_frame:
             assert intra + inter + none == short_stream[0].n_blocks
 
 

@@ -137,6 +137,30 @@ class TestConcealBlocks:
         assert conceal_blocks(blocks, np.empty(0, dtype=np.int64),
                               None) == 0
 
+    def test_every_block_corrupt(self):
+        blocks = np.zeros((4, 16), dtype=np.uint8)
+        previous = np.full((4, 16), 9, dtype=np.uint8)
+        assert conceal_blocks(blocks, np.arange(4), previous) == 4
+        assert (blocks == 9).all()
+        # Same frame without a reference: the whole frame goes gray.
+        blocks = np.zeros((4, 16), dtype=np.uint8)
+        assert conceal_blocks(blocks, np.arange(4), None) == 4
+        assert (blocks == 128).all()
+
+    def test_zero_block_frame(self):
+        blocks = np.zeros((0, 16), dtype=np.uint8)
+        assert conceal_blocks(blocks, np.empty(0, dtype=np.int64),
+                              None) == 0
+        # Any claimed corruption in an empty frame is out of range.
+        with pytest.raises(FaultError):
+            conceal_blocks(blocks, np.array([0]), None)
+
+    def test_shape_mismatched_previous_falls_back_to_gray(self):
+        blocks = np.zeros((4, 16), dtype=np.uint8)
+        previous = np.full((8, 16), 9, dtype=np.uint8)
+        conceal_blocks(blocks, np.array([1]), previous)
+        assert (blocks[1] == 128).all()
+
 
 class TestDeliveryResilience:
     video = VideoConfig()

@@ -405,3 +405,41 @@ class TestSessionDeliveryIntegration:
                                   seed=1)
         assert result.network_energy == 0.0
         assert result.deliveries == []
+
+
+class TestDeadTailDelivery:
+    """A trace that dies mid-session: fatal without a fault plan, a
+    deterministic per-attempt timeout with one (the retry that spans
+    the dead tail must not depend on where in the trace it lands)."""
+
+    def _dead_tail_trace(self):
+        from repro.network import BandwidthTrace
+
+        return BandwidthTrace((0.0, 6.0), (mbps(24.0), 0.0),
+                              name="dead-tail")
+
+    def test_fault_free_dead_tail_still_raises(self):
+        with pytest.raises(NetworkError, match="no bandwidth left"):
+            run_delivery(make_segments(n_frames=3600),
+                         self._dead_tail_trace())
+
+    def test_dead_tail_times_out_deterministically(self):
+        from repro.config import FaultConfig
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(FaultConfig(segment_timeout=2.0, max_retries=1,
+                                     retry_backoff=0.25))
+        runs = [run_delivery(make_segments(n_frames=3600),
+                             self._dead_tail_trace(), faults=plan)
+                for _ in range(2)]
+        result = runs[0]
+        # Segments requested after t=6 see an infinite transfer; each
+        # attempt must be charged exactly the per-attempt timeout and
+        # then abandoned after the bounded retries.
+        assert result.timeouts > 0
+        assert result.abandoned_segments > 0
+        dead = [c for c in result.chunks if c.abandoned]
+        assert dead and all(c.size_bytes == 0 for c in dead)
+        # Busy windows stay finite: the timeout bounded every attempt.
+        assert all(c.finish - c.start < 1e9 for c in result.chunks)
+        assert runs[0] == runs[1]  # bit-identical accounting

@@ -129,3 +129,61 @@ class TestThermalInvariants:
         assert steps == sorted(steps)
         assert throttles == sorted(throttles)
         assert steps[0] == 0 and steps[-1] > 0
+
+
+class TestInjectionOrderFreedom:
+    """FaultPlan packet draws are pure hashes of their coordinates:
+    query order, interleaving with link operations, and the emergent
+    drop schedule can never reshuffle them (and vice versa)."""
+
+    @given(seed=st.integers(0, 2**32 - 1), rate=st.floats(0.05, 0.6),
+           perm_seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_packet_draws_order_independent(self, seed, rate, perm_seed):
+        from repro.config import FaultConfig
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(FaultConfig(packet_loss=rate, seed=seed))
+        coords = [(f, p, a) for f in range(6) for p in range(5)
+                  for a in range(2)]
+        forward = {c: plan.packet_lost(*c) for c in coords}
+        rng = np.random.default_rng(perm_seed)
+        shuffled = [coords[i] for i in rng.permutation(len(coords))]
+        # A fresh plan queried in a different order, with redundant
+        # repeat queries interleaved, must agree coordinate-for-
+        # coordinate.
+        replay = FaultPlan(FaultConfig(packet_loss=rate, seed=seed))
+        for c in shuffled:
+            assert replay.packet_lost(*c) == forward[c]
+            assert replay.packet_lost(*c) == forward[c]  # re-query
+
+    @given(seed=st.integers(0, 2**32 - 1), rate=st.floats(0.05, 0.6))
+    @settings(max_examples=20, deadline=None)
+    def test_injection_composes_with_emergent_loss(self, seed, rate):
+        """Open loop: for a fixed send pattern, injected erasures
+        occupy the queue, so they cannot change which packets the
+        bottleneck itself drops."""
+        from repro.config import FaultConfig, RealtimeConfig
+        from repro.faults import FaultPlan
+        from repro.realtime import BottleneckLink
+        from repro.units import MBPS
+
+        rt = RealtimeConfig(enabled=True, link_rate=1 * MBPS,
+                            queue_bytes=12_000, seed=3)
+        plan = FaultPlan(FaultConfig(packet_loss=rate, seed=seed))
+
+        def run(inject):
+            link = BottleneckLink(rt)
+            schedule = []
+            for f in range(30):
+                flags = [inject and plan.packet_lost(f, j, 0)
+                         for j in range(6)]
+                out = link.send_burst(f * 0.01, f, [1200] * 6, 0, flags)
+                schedule.append(tuple(out.queue_delay))
+            return link, schedule
+
+        clean_link, clean_delays = run(False)
+        injected_link, injected_delays = run(True)
+        assert injected_link.red_drops == clean_link.red_drops
+        assert injected_link.overflow_drops == clean_link.overflow_drops
+        assert injected_delays == clean_delays

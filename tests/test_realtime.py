@@ -1,0 +1,380 @@
+"""Tests for repro.realtime: link, congestion, recovery, chaos.
+
+The load-bearing properties:
+
+* emergent loss/delay are a pure function of (seed, link params,
+  traffic) — no FaultPlan required, no iteration-order dependence;
+* injected packet erasures compose with emergent queue loss without
+  reshuffling it (open loop: the erased packet still queues);
+* ``RealtimeConfig(enabled=False)`` leaves paper-mode results
+  bit-identical;
+* chaos campaigns are bit-identical at any shard count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    GAB,
+    FaultConfig,
+    RealtimeConfig,
+    SimulationConfig,
+)
+from repro.core.pipeline import simulate
+from repro.core.race_to_sleep import REALTIME_LADDER_STEPS, DeadlineLadder
+from repro.errors import ConfigError, RealtimeError
+from repro.faults import FaultPlan
+from repro.realtime import (
+    CHAOS_REGIMES,
+    BottleneckLink,
+    ChaosResult,
+    DelayLossController,
+    apply_fec,
+    parity_count,
+    realtime_playback,
+    run_chaos,
+    simulate_realtime,
+)
+from repro.realtime.session import RealtimeResult
+from repro.units import MBPS, MS
+from repro.video import workload
+
+
+def _rt(**kwargs) -> RealtimeConfig:
+    base = dict(enabled=True, seed=5)
+    base.update(kwargs)
+    return RealtimeConfig(**base)
+
+
+def _sim(rt: RealtimeConfig, **kwargs) -> SimulationConfig:
+    return replace(SimulationConfig(), realtime=rt, **kwargs)
+
+
+class TestRealtimeConfig:
+    def test_default_inert(self):
+        assert not RealtimeConfig().enabled
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(latency_budget=0.0),
+        dict(mtu_bytes=8),
+        dict(queue_bytes=100, mtu_bytes=1200),
+        dict(red_min_fill=0.9, red_max_fill=0.5),
+        dict(rate_schedule=((2.0, 1.0), (1.0, 0.5))),
+        dict(rate_schedule=((1.0, -0.5),)),
+        dict(min_rate=5 * MBPS, start_rate=1 * MBPS),
+        dict(delay_target=0.0),
+        dict(recovery="arq"),
+        dict(fec_group=0),
+        dict(downscale_factor=1.5),
+    ])
+    def test_rejections(self, kwargs):
+        with pytest.raises(ConfigError):
+            RealtimeConfig(**kwargs)
+
+
+class TestBottleneckLink:
+    def test_needs_enabled(self):
+        with pytest.raises(RealtimeError):
+            BottleneckLink(RealtimeConfig())
+
+    def test_unloaded_packet_sees_propagation_only(self):
+        link = BottleneckLink(_rt(link_rate=10 * MBPS,
+                                  propagation_delay=0.015))
+        arrival, delay = link.send_packet(1.0, 0, 0, 0, 1200, False)
+        # The packet's own service time counts as queueing delay.
+        assert delay == pytest.approx(1200 / (10 * MBPS))
+        assert arrival == pytest.approx(1.0 + delay + 0.015)
+
+    def test_drain_integrates_rate_schedule(self):
+        link = BottleneckLink(_rt(link_rate=1 * MBPS,
+                                  rate_schedule=((1.0, 0.5),)))
+        link.backlog = 1 * MBPS  # one second of full-rate service
+        link.drain(1.0)
+        assert link.backlog == pytest.approx(0.0)
+        link.backlog = 1 * MBPS
+        link.clock = 1.0
+        link.drain(2.0)  # half rate now
+        assert link.backlog == pytest.approx(0.5 * MBPS)
+
+    def test_droptail_overflow(self):
+        link = BottleneckLink(_rt(queue_bytes=2400, mtu_bytes=1200))
+        outcome = link.send_burst(0.0, 0, [1200] * 3, 0, [False] * 3)
+        assert link.overflow_drops == 1
+        assert math.isinf(outcome.arrival[2])
+        assert outcome.enqueued_bytes == 2400
+
+    def test_dead_link_predicts_inf(self):
+        link = BottleneckLink(_rt(rate_schedule=((0.0, 0.0),)))
+        assert math.isinf(link.predict_arrival(0.0, 1200))
+        assert math.isinf(link.queue_delay(0.0))
+
+    def test_emergent_drops_deterministic(self):
+        def drops(seed):
+            link = BottleneckLink(_rt(seed=seed, link_rate=1 * MBPS,
+                                      queue_bytes=12_000))
+            pattern = []
+            for f in range(40):
+                out = link.send_burst(f * 0.01, f, [1200] * 8, 0,
+                                      [False] * 8)
+                pattern.append(tuple(out.arrival))
+            return link.red_drops, link.overflow_drops, pattern
+
+        assert drops(5) == drops(5)
+        # A different seed reshuffles RED draws but not the physics:
+        # the droptail count, which is backlog-driven, only moves if
+        # RED drops change the backlog.
+        assert drops(5) != drops(6)
+
+    def test_injection_is_open_loop(self):
+        """Injected erasures occupy the queue: for a fixed send
+        pattern they cannot change which packets the queue drops."""
+        def run(inject):
+            link = BottleneckLink(_rt(link_rate=1 * MBPS,
+                                      queue_bytes=12_000))
+            plan = FaultPlan(FaultConfig(packet_loss=0.3, seed=11))
+            for f in range(40):
+                flags = [inject and plan.packet_lost(f, j, 0)
+                         for j in range(8)]
+                link.send_burst(f * 0.01, f, [1200] * 8, 0, flags)
+            return link
+
+        clean, injected = run(False), run(True)
+        assert injected.red_drops == clean.red_drops
+        assert injected.overflow_drops == clean.overflow_drops
+        assert injected.injected_drops > 0
+        assert clean.injected_drops == 0
+
+
+class TestDelayLossController:
+    def test_probes_up_when_clear(self):
+        cc = DelayLossController(_rt())
+        rate = cc.rate
+        assert cc.observe(0.0, 0.0) == pytest.approx(rate * 1.04)
+
+    def test_gradient_backoff(self):
+        cfg = _rt()
+        cc = DelayLossController(cfg)
+        cc.observe(0.001, 0.0)
+        rate = cc.rate
+        cc.observe(0.001 + 2 * cfg.gradient_threshold, 0.0)
+        assert cc.rate == pytest.approx(rate * cfg.decrease_factor)
+        assert cc.overuse_events == 1
+
+    def test_standing_queue_backoff(self):
+        """A flat but large queue delay must still trip overuse — the
+        controller targets an absolute delay, not just its slope."""
+        cfg = _rt()
+        cc = DelayLossController(cfg)
+        cc.observe(2 * cfg.delay_target, 0.0)
+        rate = cc.rate
+        cc.observe(2 * cfg.delay_target, 0.0)  # gradient is now zero
+        assert cc.rate == pytest.approx(rate * cfg.decrease_factor)
+
+    def test_loss_backoff_proportional_and_floored(self):
+        cc = DelayLossController(_rt())
+        rate = cc.rate
+        cc.observe(0.0, 0.2)
+        assert cc.rate == pytest.approx(rate * 0.9)
+        assert cc.loss_events == 1
+        cc.observe(0.0, 1.0)  # 100% loss halves, never zeroes
+        assert cc.rate == pytest.approx(rate * 0.9 * 0.5)
+
+    def test_dead_link_is_maximal_overuse(self):
+        cc = DelayLossController(_rt())
+        rate = cc.rate
+        cc.observe(math.inf, 0.0)
+        assert cc.rate < rate
+
+    def test_clamped_to_band(self):
+        cfg = _rt()
+        cc = DelayLossController(cfg)
+        for _ in range(500):
+            cc.observe(0.0, 0.0)
+        assert cc.rate == cfg.max_rate
+        for _ in range(500):
+            cc.observe(math.inf, 1.0)
+        assert cc.rate == cfg.min_rate
+
+
+class TestFec:
+    def test_parity_count(self):
+        assert parity_count(0, 8) == 0
+        assert parity_count(1, 8) == 1
+        assert parity_count(8, 8) == 1
+        assert parity_count(9, 8) == 2
+
+    def test_single_loss_recovers_at_last_dependency(self):
+        arrivals = [1.0, math.inf, 3.0, 2.0]
+        out = apply_fec(arrivals, [5.0], group=4)
+        assert out == [1.0, 5.0, 3.0, 2.0]
+
+    def test_double_loss_unrecoverable(self):
+        out = apply_fec([1.0, math.inf, math.inf], [5.0], group=3)
+        assert math.isinf(out[1]) and math.isinf(out[2])
+
+    def test_lost_parity_recovers_nothing(self):
+        out = apply_fec([1.0, math.inf], [math.inf], group=2)
+        assert math.isinf(out[1])
+
+    def test_groups_independent(self):
+        arrivals = [math.inf, 1.0, math.inf, math.inf]
+        out = apply_fec(arrivals, [2.0, 3.0], group=2)
+        assert out[0] == 2.0  # group 0 had one loss: recovered
+        assert math.isinf(out[2]) and math.isinf(out[3])
+
+
+class TestDeadlineLadder:
+    def test_steps_exported(self):
+        assert REALTIME_LADDER_STEPS == ("nominal", "downscale",
+                                         "freeze", "skip")
+
+    def test_least_degraded_first(self):
+        ladder = DeadlineLadder(0.5, 0.1)
+        # predict: fits only once scaled below 0.6x
+        step, factor = ladder.choose(1.0, lambda f: 0.5 + f)
+        assert (step, factor) == (1, 0.5)
+        assert ladder.downscaled == 1 and ladder.degradation_steps == 1
+
+    def test_skip_when_nothing_fits(self):
+        ladder = DeadlineLadder(0.5, 0.1)
+        step, factor = ladder.choose(1.0, lambda f: 10.0)
+        assert (step, factor) == (3, 0.0)
+        assert ladder.skipped == 1
+
+    def test_nominal_costs_nothing(self):
+        ladder = DeadlineLadder(0.5, 0.1)
+        step, factor = ladder.choose(1.0, lambda f: 0.1)
+        assert (step, factor) == (0, 1.0)
+        assert ladder.degradation_steps == 0
+
+
+#: A deliberately harsh link: deep periodic cliffs against a modest
+#: budget, so emergent drops and ladder action both show up in a short
+#: session.
+_HARSH = dict(link_rate=3 * MBPS, queue_bytes=48_000,
+              rate_schedule=((1.0, 0.12), (2.0, 1.0), (3.0, 0.12),
+                             (4.0, 1.0)))
+
+
+class TestSimulateRealtime:
+    def test_requires_enabled(self):
+        with pytest.raises(RealtimeError):
+            simulate_realtime(SimulationConfig())
+
+    def test_deterministic(self):
+        cfg = _sim(_rt(**_HARSH))
+        a = simulate_realtime(cfg, n_frames=240)
+        b = simulate_realtime(cfg, n_frames=240)
+        assert a.to_jsonable() == b.to_jsonable()
+
+    def test_emergent_loss_without_fault_plan(self):
+        # Ladder off: the sender keeps pushing full frames into the
+        # cliff, so the queue itself must produce the losses.
+        result = simulate_realtime(_sim(_rt(ladder=False, **_HARSH)),
+                                   n_frames=240)
+        assert result.overflow_drops + result.red_drops > 0
+        assert result.injected_drops == 0
+        assert result.total_energy > 0
+
+    def test_ladder_prevents_emergent_drops(self):
+        """The ladder pre-shrinks frames that would not fit, so the
+        same harsh link stops dropping when it is on."""
+        off = simulate_realtime(_sim(_rt(ladder=False, **_HARSH)),
+                                n_frames=240)
+        on = simulate_realtime(_sim(_rt(**_HARSH)), n_frames=240)
+        assert (on.overflow_drops + on.red_drops
+                < off.overflow_drops + off.red_drops)
+
+    def test_injected_loss_composes(self):
+        cfg = _sim(_rt(**_HARSH),
+                   faults=FaultConfig(packet_loss=0.05, seed=3))
+        result = simulate_realtime(cfg, n_frames=240)
+        assert result.injected_drops > 0
+
+    def test_ladder_engages_under_pressure(self):
+        result = simulate_realtime(_sim(_rt(**_HARSH)), n_frames=240)
+        assert result.degradation_steps > 0
+        assert (result.downscaled_frames == int((result.step == 1).sum())
+                and result.frozen_frames == int((result.step == 2).sum())
+                and result.skipped_frames == int((result.step == 3).sum()))
+
+    def test_json_round_trip(self):
+        result = simulate_realtime(_sim(_rt(**_HARSH)), n_frames=120)
+        back = RealtimeResult.from_jsonable(result.to_jsonable())
+        assert back.to_jsonable() == result.to_jsonable()
+        assert np.array_equal(back.completion, result.completion,
+                              equal_nan=True)
+
+    def test_recovery_modes_differ(self):
+        runs = {}
+        for mode in ("fec", "retx"):
+            cfg = _sim(_rt(recovery=mode, propagation_delay=0.060,
+                           loss_threshold=1.0),
+                       faults=FaultConfig(packet_loss=0.15, seed=3))
+            runs[mode] = simulate_realtime(cfg, n_frames=180)
+        assert runs["fec"].parity_bytes > 0 and runs["fec"].retx_bytes == 0
+        assert runs["retx"].retx_bytes > 0 and runs["retx"].parity_bytes == 0
+        # A retransmission over a 120 ms RTT cannot make a 150 ms budget.
+        assert (runs["fec"].deadline_miss_fraction
+                < runs["retx"].deadline_miss_fraction)
+
+    def test_overlay_feeds_concealment(self):
+        result = simulate_realtime(_sim(_rt(**_HARSH)), n_frames=240)
+        overlay = result.block_overlay()
+        assert overlay  # the harsh link must have lost something
+        run = realtime_playback(GAB, _sim(_rt(**_HARSH)), n_frames=240)
+        assert run.concealed_blocks >= sum(len(v) for v in overlay.values())
+
+    def test_availability_monotone(self):
+        result = simulate_realtime(_sim(_rt(**_HARSH)), n_frames=240)
+        times = result.availability_times()
+        assert (np.diff(times) >= 0).all()
+        assert np.isfinite(times).all()
+
+
+class TestDisabledRealtimeIsInert:
+    def test_paper_mode_bit_identical(self):
+        """A disabled RealtimeConfig, however exotic, must leave the
+        paper pipeline untouched."""
+        exotic = RealtimeConfig(enabled=False, link_rate=1 * MBPS,
+                                latency_budget=0.033, fec_group=2,
+                                recovery="fec", seed=99)
+        base = simulate(workload("V1"), GAB, n_frames=64, seed=3)
+        other = simulate(workload("V1"), GAB, n_frames=64, seed=3,
+                         config=_sim(exotic))
+        assert base.energy.total == other.energy.total
+        assert (base.timeline.finish == other.timeline.finish).all()
+        assert base.concealed_blocks == other.concealed_blocks
+
+
+class TestChaos:
+    def _campaign(self, shards):
+        return run_chaos(regimes=CHAOS_REGIMES[:2], videos=("V1",),
+                         sessions=2, n_frames=60, fleet_frame_cap=90,
+                         seed=3, shards=shards)
+
+    def test_shard_invariant(self):
+        one = self._campaign(1)
+        three = self._campaign(3)
+        assert one.to_jsonable() == three.to_jsonable()
+
+    def test_json_round_trip(self):
+        result = self._campaign(2)
+        back = ChaosResult.from_jsonable(result.to_jsonable())
+        assert back.to_jsonable() == result.to_jsonable()
+
+    def test_report_covers_all_cells(self):
+        report = self._campaign(1).report()
+        for regime in ("calm", "bursty-loss"):
+            assert regime in report
+        for cohort in ("matrix", "fleet"):
+            assert cohort in report
+
+    def test_rejects_bad_shards(self):
+        with pytest.raises(RealtimeError):
+            self._campaign(0)
