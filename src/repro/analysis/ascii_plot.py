@@ -78,9 +78,7 @@ def bar_chart(labels: Sequence[str], values: Sequence[float],
         bar = "#" * bar_len
         if reference is not None and peak:
             tick = int(round(reference / peak * width))
-            if tick >= len(bar):
-                bar = bar.ljust(tick) + "|"
-            else:
-                bar = bar[:tick] + "|" + bar[tick + 1:]
+            bar = (bar.ljust(tick) + "|" if tick >= len(bar)
+                   else bar[:tick] + "|" + bar[tick + 1:])
         lines.append(f"{label.ljust(label_width)}  {bar} {value:.3f}")
     return "\n".join(lines)

@@ -27,6 +27,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -326,11 +327,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     def status(line: str) -> None:
         print(f"  {line} ...", file=sys.stderr)
 
-    if args.calibration:
-        calibration = load_or_calibrate(spec, args.calibration,
-                                        progress=status)
-    else:
-        calibration = calibrate(spec, progress=status)
+    calibration = (load_or_calibrate(spec, args.calibration, progress=status)
+                   if args.calibration else calibrate(spec, progress=status))
     result = run_fleet(spec, args.sessions, seed=args.seed,
                        shards=args.shards,
                        contention=not args.no_contention,
@@ -432,13 +430,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         all_rules,
         lint_paths,
         load_baseline,
+        render_sarif,
         write_baseline,
     )
 
     if args.list_rules:
-        rows = [[r.id, r.name, r.family, r.description] for r in all_rules()]
-        print(format_table(["id", "name", "family", "guards"], rows,
-                           title="repro-lint rules"))
+        rows = [[r.id, r.name, r.scope, r.severity, r.family, r.description]
+                for r in all_rules()]
+        print(format_table(
+            ["id", "name", "scope", "severity", "family", "guards"],
+            rows, title="repro-lint rules"))
         return 0
     select = ([rule_id.strip().upper()
                for rule_id in args.select.split(",") if rule_id.strip()]
@@ -446,8 +447,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     baseline = (load_baseline(args.baseline)
                 if args.baseline and not args.update_baseline
                 else Baseline.empty())
+    jobs = args.jobs
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
     report = lint_paths(args.paths or None, baseline=baseline,
-                        select=select)
+                        select=select, cache_path=args.cache, jobs=jobs)
     if args.update_baseline:
         if not args.baseline:
             print("--update-baseline requires --baseline PATH",
@@ -458,11 +462,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"wrote {len(report.violations)} finding(s) to "
               f"{args.baseline}")
         return 0
-    output = (report.render_json() if args.format == "json"
-              else report.render_text())
+    if args.format == "json":
+        output = report.render_json()
+    elif args.format == "sarif":
+        output = render_sarif(report)
+    else:
+        output = report.render_text()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(output + "\n")
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif(report) + "\n")
     print(output)
     return 0 if report.ok else 1
 
@@ -665,8 +676,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.set_defaults(func=_cmd_chaos)
 
     lint = sub.add_parser(
-        "lint", help="static invariant checks: determinism, units, "
-                     "error policy, API contract")
+        "lint", help="whole-program invariant checks: determinism, "
+                     "units/dimensions, taint, round-trip, error "
+                     "policy, API contract")
     lint.add_argument("paths", nargs="*",
                       help="files/directories (default: the installed "
                            "repro package)")
@@ -677,9 +689,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--select", default=None,
                       help="comma-separated rule ids (default: all)")
     lint.add_argument("--format", default="text",
-                      choices=("text", "json"))
+                      choices=("text", "json", "sarif"))
     lint.add_argument("--output", default=None,
                       help="also write the report to this file")
+    lint.add_argument("--sarif", default=None,
+                      help="also write a SARIF 2.1.0 report here")
+    lint.add_argument("--cache", default=None,
+                      help="incremental-analysis cache file (per-file "
+                           "results keyed by content fingerprint)")
+    lint.add_argument("--jobs", type=int, default=None,
+                      help="analyze files in N worker processes "
+                           "(0 = one per CPU)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
     lint.set_defaults(func=_cmd_lint)

@@ -35,10 +35,12 @@ def batch_ready_time(source: FrameSource, next_frame: int, batch: int,
                      buffers_free_time: float) -> float:
     """When a ``batch``-frame decode starting at ``next_frame`` can run.
 
-    The batch needs its frames buffered by the network *and* enough
-    frame-buffer slots drained; both governors (fixed and adaptive)
-    plan against this time, the adaptive one re-evaluating it per
-    candidate batch depth while walking the degradation ladder.
+    ``buffers_free_time`` is the absolute time (canonical seconds)
+    when enough frame-buffer slots will have drained.  The batch needs
+    its frames buffered by the network *and* enough frame-buffer slots
+    drained; both governors (fixed and adaptive) plan against this
+    time, the adaptive one re-evaluating it per candidate batch depth
+    while walking the degradation ladder.
     """
     return max(source.time_when_available(next_frame + batch),
                buffers_free_time)

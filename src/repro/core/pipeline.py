@@ -506,11 +506,10 @@ def simulate(
                         is_write=False)
 
             if fault_plan is not None or block_loss_overlay is not None:
-                if fault_plan is not None:
-                    corrupt = fault_plan.corrupt_block_indices(
-                        index, frame.n_blocks, frame.block_bytes)
-                else:
-                    corrupt = np.empty(0, dtype=np.int64)
+                corrupt = (fault_plan.corrupt_block_indices(
+                    index, frame.n_blocks, frame.block_bytes)
+                    if fault_plan is not None
+                    else np.empty(0, dtype=np.int64))
                 if block_loss_overlay is not None:
                     lost = block_loss_overlay.get(index)
                     if lost is not None and len(lost):

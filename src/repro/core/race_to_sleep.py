@@ -114,10 +114,10 @@ class RaceToSleepGovernor:
                           extra_margin: float = 0.0) -> float:
         """Decode of ``frame_index`` must start by this time.
 
-        ``wake_latency`` defaults to the S3 exit (the deepest sleep the
-        slack may use); ``extra_margin`` pads for hazards the estimate
-        does not cover (the adaptive governor passes the injected
-        wake-delay bound).
+        ``wake_latency`` (canonical seconds) defaults to the S3 exit
+        (the deepest sleep the slack may use); ``extra_margin`` pads
+        for hazards the estimate does not cover (the adaptive governor
+        passes the injected wake-delay bound).
         """
         if wake_latency is None:
             wake_latency = self.decoder.power_states.s3_wake_latency
@@ -131,9 +131,10 @@ class RaceToSleepGovernor:
                   batch_buffers_free_time: float) -> GovernorPlan:
         """Choose when to wake for the batch starting at ``next_frame``.
 
-        ``batch_buffers_free_time`` is when enough frame-buffer slots
-        will have drained for a full batch (computed by the pipeline
-        from the display schedule).
+        ``batch_buffers_free_time`` is the absolute time (canonical
+        seconds) when enough frame-buffer slots will have drained for
+        a full batch (computed by the pipeline from the display
+        schedule).
         """
         if self.scheme.batch_size == 1:
             wake = max(now, self.call_time(next_frame))

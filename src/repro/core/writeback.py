@@ -344,11 +344,10 @@ class WritebackEngine:
             resident_idx = touch_idx[cls.resident_touch]
 
         # Stored blocks pack into the data region in block order.
-        if dcc_sizes is not None:
-            stored_sizes = dcc_sizes[stored_idx].astype(np.int64)
-        else:
-            stored_sizes = np.full(
-                len(stored_idx), frame.block_bytes, dtype=np.int64)
+        stored_sizes = (dcc_sizes[stored_idx].astype(np.int64)
+                        if dcc_sizes is not None
+                        else np.full(len(stored_idx), frame.block_bytes,
+                                     dtype=np.int64))
         ends = np.cumsum(stored_sizes)
         data_bytes = int(ends[-1]) if len(ends) else 0
         pointers[stored_idx] = data_base + ends - stored_sizes

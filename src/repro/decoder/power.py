@@ -92,7 +92,7 @@ class PowerTracker:
     transitions: int = 0
 
     def record_execution(self, duration: float, power: float) -> None:
-        """Active decode time at the given P-state power."""
+        """Active decode: ``duration`` seconds at ``power`` watts."""
         self.time_by_state[PowerState.EXECUTION] += duration
         self.energy_by_state[PowerState.EXECUTION] += duration * power
 

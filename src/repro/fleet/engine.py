@@ -415,11 +415,9 @@ def run_fleet(spec: PopulationSpec, n_sessions: int, seed: int = 0,
             metrics = _score_chunk(spec, chunk, factor, tables, fps)
             for key, mask in _cohort_masks(spec, chunk):
                 partial[key].add_chunk(chunk.uid, metrics, mask)
-        if merged is None:
-            merged = partial
-        else:
-            merged = {key: merged[key].merge(partial[key])
-                      for key in cohort_keys}
+        merged = (partial if merged is None
+                  else {key: merged[key].merge(partial[key])
+                        for key in cohort_keys})
     assert merged is not None
 
     return FleetResult(

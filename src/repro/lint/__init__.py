@@ -19,6 +19,18 @@ Four rule families (see ``docs/LINTING.md`` for the full catalogue):
 * **API contract** (``A``) — public functions are fully annotated and
   ``to_jsonable``/``from_jsonable`` checkpoint pairs stay complete.
 
+Three *whole-program* families run over the linked project (shared
+symbol table + call graph, see :mod:`repro.lint.callgraph`):
+
+* **dimension** (``UD``) — unit-dimension inference: no mixed-scale
+  arithmetic, no unconverted stores/returns, no unit-ambiguous public
+  parameters;
+* **taint** (``DT``) — determinism taint tracking: no nondeterministic
+  value reaches a serialized result, no float accumulation over set
+  iteration, mergeable aggregates accumulate exactly;
+* **round-trip** (``RT``) — ``to_jsonable``/``from_jsonable`` pairs
+  are field-complete, so resume never silently defaults a field.
+
 Violations are suppressed per line with a *justified* comment::
 
     thing()  # repro-lint: disable=E002 isolation is the point
@@ -31,30 +43,45 @@ fail CI.
 from __future__ import annotations
 
 from .baseline import Baseline, load_baseline, write_baseline
+from .cache import LintCache, config_hash, file_fingerprint
+from .callgraph import ProjectContext
 from .engine import (
     LintReport,
     ModuleContext,
     Violation,
+    analyze_file,
     default_lint_root,
     lint_paths,
     lint_source,
 )
 from .registry import Rule, all_rules, get_rule
+from .sarif import render_sarif, report_to_sarif
 
-# Importing the rule modules registers every built-in rule.
+# Importing the rule modules registers every built-in rule; the
+# project-scope passes register on import of their defining modules.
 from . import rules as _rules  # noqa: F401
+from . import dimensions as _dimensions  # noqa: F401
+from . import roundtrip as _roundtrip  # noqa: F401
+from . import taint as _taint  # noqa: F401
 
 __all__ = [
     "Baseline",
+    "LintCache",
     "LintReport",
     "ModuleContext",
+    "ProjectContext",
     "Rule",
     "Violation",
     "all_rules",
+    "analyze_file",
+    "config_hash",
     "default_lint_root",
+    "file_fingerprint",
     "get_rule",
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "render_sarif",
+    "report_to_sarif",
     "write_baseline",
 ]

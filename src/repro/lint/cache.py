@@ -1,0 +1,103 @@
+"""Incremental analysis cache: fingerprint-keyed per-file results.
+
+Phase 1 (parse + file rules + summary extraction) is the expensive
+part of a lint run and depends only on one file's bytes, so its
+product is cached keyed by the sha256 of those bytes.  Phase 2 (the
+whole-program link) always re-runs — it is dict lookups over the
+summaries and costs milliseconds — which is how a warm run stays
+*bit-identical* to a cold one: the link sees exactly the same
+summaries either way.
+
+The cache is one JSON file.  Entries are invalidated by content
+fingerprint, and the whole cache is invalidated by a config hash
+covering the cache schema version and the registered rule set (ids,
+scopes, severities), so adding or changing a rule never serves stale
+findings.  A missing/corrupt/foreign cache file degrades to a cold
+run — the cache is an accelerator, never a correctness input.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from .registry import all_rules
+
+#: Bump when the per-file entry schema changes shape.
+CACHE_VERSION = 1
+
+
+def file_fingerprint(source: str) -> str:
+    """Content fingerprint for one file's text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def config_hash() -> str:
+    """Hash of everything that could change findings besides file
+    content: schema version + the registered rule set."""
+    payload = json.dumps(
+        {"cache_version": CACHE_VERSION,
+         "rules": [[r.id, r.scope, r.severity] for r in all_rules()]},
+        sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Per-file phase-1 results, keyed by display path + fingerprint."""
+
+    def __init__(self, entries: Optional[Dict[str, Any]] = None) -> None:
+        self.entries: Dict[str, Any] = entries or {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Optional[str]) -> "LintCache":
+        """Load a cache file; anything unusable is an empty cache."""
+        if path is None or not os.path.exists(path):
+            return cls()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return cls()
+        if not isinstance(data, dict) \
+                or data.get("config") != config_hash() \
+                or not isinstance(data.get("entries"), dict):
+            return cls()
+        return cls(entries=data["entries"])
+
+    def get(self, path_key: str, fingerprint: str
+            ) -> Optional[Dict[str, Any]]:
+        entry = self.entries.get(path_key)
+        if isinstance(entry, dict) \
+                and entry.get("fingerprint") == fingerprint:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, path_key: str, fingerprint: str,
+            entry: Dict[str, Any]) -> None:
+        stored = dict(entry)
+        stored["fingerprint"] = fingerprint
+        self.entries[path_key] = stored
+
+    def save(self, path: str) -> None:
+        """Atomic write (tmp + rename), like the baseline writer."""
+        payload = {"config": config_hash(), "entries": self.entries}
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        descriptor, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".lint-cache-", suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_path)
+            raise

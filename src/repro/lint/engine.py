@@ -1,8 +1,23 @@
-"""Lint engine: file discovery, suppression comments, rule dispatch.
+"""Lint engine: two-phase whole-program analysis.
 
-The engine parses each file once (stdlib :mod:`ast` + :mod:`tokenize`,
-no third-party dependencies), hands the tree to every registered rule,
-then filters the raw findings through two escape hatches:
+**Phase 1 — per-file analysis** (cacheable, parallelizable): each file
+is parsed once (stdlib :mod:`ast` + :mod:`tokenize`, no third-party
+dependencies), every *file-scope* rule runs over it, and
+:mod:`repro.lint.symbols` extracts a module summary — call edges,
+inferred return dimensions, taint sources, serialization surface, and
+the semantic checks that cannot be decided without other files.  The
+product depends only on that file's bytes, so it is cached by content
+fingerprint (:mod:`repro.lint.cache`) and can be computed for many
+files in parallel.
+
+**Phase 2 — whole-program link** (always re-runs, cheap): the
+summaries are linked into a :class:`~repro.lint.callgraph
+.ProjectContext` and every *project-scope* rule (``UD``/``DT``/``RT``
+families) runs over it.  Because the link re-runs from the same
+summaries either way, a warm cached run produces a bit-identical
+finding set to a cold one.
+
+Findings then pass through two escape hatches:
 
 * **inline suppressions** — ``# repro-lint: disable=D001 <reason>`` on
   the flagged line (or ``disable-next-line=`` on the line above, or
@@ -22,9 +37,12 @@ import io
 import json
 import os
 import re
+import time
 import tokenize
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
+    Any,
     Dict,
     Iterable,
     List,
@@ -36,10 +54,12 @@ from typing import (
 )
 
 from ..errors import LintError
+from ..units import to_ms
 
 if TYPE_CHECKING:  # pragma: no cover — runtime import lives in lint_paths
     from .baseline import Baseline
-from .registry import Rule, all_rules, get_rule, rule
+from .registry import Rule, all_rules, file_rules, get_rule, \
+    project_rules, rule
 
 # The S-family is emitted by the engine itself while processing
 # suppression directives; registering the ids here keeps --list-rules,
@@ -61,6 +81,10 @@ _FILE_SCOPE = 0
 
 def _as_int(value: object) -> int:
     return value if isinstance(value, int) else 0
+
+
+def _as_float(value: object) -> float:
+    return float(value) if isinstance(value, (int, float)) else 0.0
 
 
 @dataclass(frozen=True)
@@ -85,7 +109,7 @@ class Violation:
 
 @dataclass
 class ModuleContext:
-    """Everything a rule sees about one file."""
+    """Everything a file-scope rule sees about one file."""
 
     path: str  # as reported in violations
     module: str  # dotted module name, e.g. "repro.core.mach"
@@ -132,6 +156,9 @@ class LintReport:
     files_checked: int = 0
     baselined: int = 0  # findings absorbed by the baseline
     suppressed: int = 0  # findings absorbed by inline directives
+    elapsed_seconds: float = 0.0  # s, wall time of the whole run
+    cache_hits: int = 0  # files served from the incremental cache
+    cache_misses: int = 0  # files analyzed from scratch
 
     @property
     def ok(self) -> bool:
@@ -149,6 +176,9 @@ class LintReport:
             "files_checked": self.files_checked,
             "baselined": self.baselined,
             "suppressed": self.suppressed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "counts": self.counts_by_rule(),
             "violations": [
                 {"path": v.path, "line": v.line, "col": v.col,
@@ -164,7 +194,11 @@ class LintReport:
         CI artifact reader rebuilds reports from JSON)."""
         report = cls(files_checked=_as_int(data.get("files_checked", 0)),
                      baselined=_as_int(data.get("baselined", 0)),
-                     suppressed=_as_int(data.get("suppressed", 0)))
+                     suppressed=_as_int(data.get("suppressed", 0)),
+                     elapsed_seconds=_as_float(
+                         data.get("elapsed_seconds", 0.0)),
+                     cache_hits=_as_int(data.get("cache_hits", 0)),
+                     cache_misses=_as_int(data.get("cache_misses", 0)))
         violations = data.get("violations", [])
         if isinstance(violations, list):
             for entry in violations:
@@ -188,6 +222,14 @@ class LintReport:
             summary += "  [" + ", ".join(
                 f"{rule_id}: {n}" for rule_id, n in counts.items()) + "]"
         lines.append(summary)
+        if self.elapsed_seconds > 0.0:
+            cached = ""
+            if self.cache_hits or self.cache_misses:
+                cached = (f" ({self.cache_hits} cached, "
+                          f"{self.cache_misses} analyzed)")
+            lines.append(f"analysis time: "
+                         f"{to_ms(self.elapsed_seconds):.1f} ms"
+                         + cached)
         return "\n".join(lines)
 
     def render_json(self) -> str:
@@ -243,24 +285,35 @@ def _module_name_for(path: str) -> str:
     return stem.rsplit("/", 1)[-1]
 
 
-def lint_source(source: str, path: str = "<memory>",
-                module: Optional[str] = None,
-                select: Optional[Sequence[str]] = None) -> List[Violation]:
-    """Lint one in-memory module; the workhorse behind :func:`lint_paths`.
-
-    Returns the violations that survive inline suppressions (baseline
-    filtering is the caller's concern).  ``select`` restricts the run
-    to the given rule ids.
-    """
-    violations, _ = _lint_source(source, path=path, module=module,
-                                 select=select)
-    return violations
+# --------------------------------------------------------------------------
+# Phase 1: per-file analysis
+# --------------------------------------------------------------------------
 
 
-def _lint_source(source: str, path: str, module: Optional[str] = None,
-                 select: Optional[Sequence[str]] = None
-                 ) -> Tuple[List[Violation], int]:
-    """As :func:`lint_source`, plus the count of inline-suppressed hits."""
+def _suppression_maps(directives: List[_Suppression]
+                      ) -> Dict[str, Any]:
+    """JSON-friendly (line -> rules, file-wide rules) maps, so link-time
+    findings can honor inline directives without re-reading the file."""
+    by_line: Dict[str, List[str]] = {}
+    file_wide: Set[str] = set()
+    for directive in directives:
+        if directive.line == _FILE_SCOPE:
+            file_wide.update(directive.rule_ids)
+        else:
+            bucket = by_line.setdefault(str(directive.line), [])
+            for rule_id in directive.rule_ids:
+                if rule_id not in bucket:
+                    bucket.append(rule_id)
+    return {"lines": by_line, "file": sorted(file_wide)}
+
+
+def analyze_file(source: str, path: str, module: Optional[str] = None
+                 ) -> Dict[str, Any]:
+    """Phase 1 for one file: file-rule violations (post-suppression),
+    the module summary, and the suppression maps — a plain-JSON dict,
+    which is exactly what the incremental cache stores."""
+    from .symbols import extract_summary  # deferred: symbols imports us
+
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -269,11 +322,9 @@ def _lint_source(source: str, path: str, module: Optional[str] = None,
                         module=module or _module_name_for(path),
                         tree=tree,
                         lines=source.splitlines())
-    rules: List[Rule] = ([get_rule(rule_id) for rule_id in select]
-                         if select is not None else all_rules())
 
     raw: List[Violation] = []
-    for lint_rule in rules:
+    for lint_rule in file_rules():
         for line, col, message in lint_rule.run(ctx):
             raw.append(Violation(path=path, line=line, col=col,
                                  rule_id=lint_rule.id, message=message,
@@ -283,7 +334,25 @@ def _lint_source(source: str, path: str, module: Optional[str] = None,
     kept = _apply_suppressions(raw, directives, ctx)
     suppressed = len(raw) - sum(1 for v in kept if v.rule_id not in
                                 ("S001", "S002"))
-    return kept, suppressed
+    return {
+        "violations": [
+            {"line": v.line, "col": v.col, "rule": v.rule_id,
+             "message": v.message, "context": v.context}
+            for v in kept
+        ],
+        "suppressed": suppressed,
+        "summary": extract_summary(tree, ctx.module, ctx.lines),
+        "suppressions": _suppression_maps(directives),
+    }
+
+
+def _analyze_worker(task: Tuple[str, str, Optional[str]]
+                    ) -> Tuple[str, Dict[str, Any]]:
+    """Process-pool entry point for :func:`analyze_file`."""
+    import repro.lint  # noqa: F401 — registers every rule in the worker
+
+    path, source, module = task
+    return path, analyze_file(source, path, module)
 
 
 def _apply_suppressions(raw: List[Violation],
@@ -322,6 +391,80 @@ def _apply_suppressions(raw: List[Violation],
     return kept
 
 
+# --------------------------------------------------------------------------
+# Phase 2: whole-program link
+# --------------------------------------------------------------------------
+
+
+def _link_project(entries: Dict[str, Dict[str, Any]]
+                  ) -> Tuple[List[Violation], int]:
+    """Run every project-scope rule over the linked summaries.
+
+    Returns (kept violations, count suppressed by inline directives).
+    """
+    from .callgraph import ProjectContext
+
+    summaries = {path: entry["summary"] for path, entry in entries.items()}
+    project = ProjectContext(summaries)
+    kept: List[Violation] = []
+    suppressed = 0
+    for lint_rule in project_rules():
+        for path, line, col, message, text in lint_rule.run_project(project):
+            maps = entries[path].get("suppressions",
+                                     {"lines": {}, "file": []})
+            applicable = set(maps["lines"].get(str(line), []))
+            applicable.update(maps["file"])
+            if lint_rule.id in applicable:
+                suppressed += 1
+                continue
+            kept.append(Violation(path=path, line=line, col=col,
+                                  rule_id=lint_rule.id, message=message,
+                                  context=text))
+    return kept, suppressed
+
+
+def _entry_violations(path: str, entry: Dict[str, Any]) -> List[Violation]:
+    return [Violation(path=path, line=v["line"], col=v["col"],
+                      rule_id=v["rule"], message=v["message"],
+                      context=v.get("context", ""))
+            for v in entry.get("violations", [])]
+
+
+def _filter_select(violations: List[Violation],
+                   select: Optional[Sequence[str]]) -> List[Violation]:
+    if select is None:
+        return violations
+    wanted = set()
+    for rule_id in select:
+        get_rule(rule_id)  # unknown ids are a caller error, as before
+        wanted.add(rule_id)
+    return [v for v in violations if v.rule_id in wanted]
+
+
+def lint_source(source: str, path: str = "<memory>",
+                module: Optional[str] = None,
+                select: Optional[Sequence[str]] = None) -> List[Violation]:
+    """Lint one in-memory module through the *full* pipeline — file
+    rules plus the project passes linked over this single module.
+
+    Returns the violations that survive inline suppressions (baseline
+    filtering is the caller's concern).  ``select`` restricts the
+    reported rule ids; the analysis itself always runs everything, so
+    selection never changes what any rule could see.
+    """
+    entry = analyze_file(source, path=path, module=module)
+    violations = _entry_violations(path, entry)
+    project_violations, _ = _link_project({path: entry})
+    violations.extend(project_violations)
+    violations.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return _filter_select(violations, select)
+
+
+# --------------------------------------------------------------------------
+# File discovery and the driver
+# --------------------------------------------------------------------------
+
+
 def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
     for path in paths:
         if os.path.isfile(path):
@@ -355,13 +498,27 @@ def default_lint_root() -> str:
 
 def lint_paths(paths: Optional[Sequence[str]] = None,
                baseline: Optional["Baseline"] = None,
-               select: Optional[Sequence[str]] = None) -> LintReport:
-    """Lint files/directories and return a filtered :class:`LintReport`."""
+               select: Optional[Sequence[str]] = None,
+               cache_path: Optional[str] = None,
+               jobs: Optional[int] = None) -> LintReport:
+    """Lint files/directories and return a filtered :class:`LintReport`.
+
+    ``cache_path`` enables the incremental cache: per-file phase-1
+    results keyed by content fingerprint, with phase 2 always re-run
+    (warm runs are bit-identical to cold ones).  ``jobs`` > 1 analyzes
+    uncached files in that many worker processes.
+    """
     from .baseline import Baseline  # local import: baseline imports us
+    from .cache import LintCache, file_fingerprint
+
+    # Tooling self-timing for the report's analysis-time line — this is
+    # host wall time, never simulated time.
+    started = time.perf_counter()  # repro-lint: disable=D002 lint-report timing is host tooling, not model time
 
     targets = list(paths) if paths else [default_lint_root()]
     report = LintReport()
-    all_violations: List[Violation] = []
+
+    sources: Dict[str, Tuple[str, str]] = {}  # display -> (source, module)
     for filename in _iter_python_files(targets):
         try:
             with open(filename, "r", encoding="utf-8") as handle:
@@ -369,15 +526,57 @@ def lint_paths(paths: Optional[Sequence[str]] = None,
         except OSError as exc:
             raise LintError(f"cannot read {filename!r}: {exc}") from exc
         display = _display_path(filename)
-        kept_here, suppressed_here = _lint_source(source, path=display,
-                                                  select=select)
-        all_violations.extend(kept_here)
-        report.suppressed += suppressed_here
+        sources[display] = (source, _module_name_for(display))
+
+    cache = LintCache.load(cache_path)
+    entries: Dict[str, Dict[str, Any]] = {}
+    pending: List[Tuple[str, str, Optional[str]]] = []
+    fingerprints: Dict[str, str] = {}
+    for display, (source, module) in sources.items():
+        fingerprint = file_fingerprint(source)
+        fingerprints[display] = fingerprint
+        cached = cache.get(display, fingerprint) if cache_path else None
+        if cached is not None:
+            entries[display] = cached
+        else:
+            pending.append((display, source, module))
+
+    if jobs is not None and jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for display, entry in pool.map(_analyze_worker, pending,
+                                           chunksize=4):
+                entries[display] = entry
+    else:
+        for display, source, module in pending:
+            entries[display] = analyze_file(source, display, module)
+
+    if cache_path is not None:
+        for display, _source, _module in pending:
+            cache.put(display, fingerprints[display], entries[display])
+        # Drop entries for files that no longer exist in the target set.
+        cache.entries = {key: value for key, value in cache.entries.items()
+                         if key in sources}
+        cache.save(cache_path)
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+
+    all_violations: List[Violation] = []
+    for display in sorted(entries):
+        entry = entries[display]
+        all_violations.extend(_entry_violations(display, entry))
+        report.suppressed += entry.get("suppressed", 0)
         report.files_checked += 1
 
+    project_violations, project_suppressed = _link_project(entries)
+    all_violations.extend(project_violations)
+    report.suppressed += project_suppressed
+    all_violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+
+    all_violations = _filter_select(all_violations, select)
     if baseline is None:
         baseline = Baseline.empty()
     kept, absorbed = baseline.filter(all_violations)
     report.violations = kept
     report.baselined = absorbed
+    report.elapsed_seconds = time.perf_counter() - started  # repro-lint: disable=D002 lint-report timing is host tooling, not model time
     return report

@@ -1,24 +1,43 @@
 """Rule registry: every lint rule self-registers at import time.
 
-A rule is a plain function ``check(ctx) -> Iterable[(line, col, msg)]``
-wrapped with :func:`rule`; the registry keys it by its short id
-(``D001``, ``U002``, ...) so the engine, the CLI's ``--select``, the
-suppression comments, and the baseline all speak the same names.
+Two rule scopes share one id space:
+
+* **file** rules are plain functions ``check(ctx) -> Iterable[(line,
+  col, msg)]`` over a single :class:`~repro.lint.engine.ModuleContext`
+  — the PR-3 model (``D``/``U``/``E``/``A``/``F`` families);
+* **project** rules are functions ``check(project) -> Iterable[(path,
+  line, col, msg, text)]`` over the whole-program
+  :class:`~repro.lint.callgraph.ProjectContext` of linked module
+  summaries — the semantic passes (``UD``/``DT``/``RT`` families).
+
+The registry keys both by short id (``D001``, ``UD101``, ...) so the
+engine, the CLI's ``--select``, the suppression comments, the SARIF
+export, and the baseline all speak the same names.  Every rule also
+carries a severity tier (``error`` or ``warning``); both fail the run,
+but the tier is surfaced in reports and mapped to the SARIF ``level``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, Iterable, List, Tuple, TYPE_CHECKING, Union
 
 from ..errors import LintError
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard only
+    from .callgraph import ProjectContext
     from .engine import ModuleContext
 
-#: What a rule's check function yields: (line, column, message).
+#: What a file-scope rule's check function yields: (line, column, message).
 RawViolation = Tuple[int, int, str]
+#: What a project-scope rule yields: (path, line, column, message,
+#: stripped source text of the flagged line).
+RawProjectViolation = Tuple[str, int, int, str, str]
 CheckFunction = Callable[["ModuleContext"], Iterable[RawViolation]]
+ProjectCheckFunction = Callable[["ProjectContext"],
+                                Iterable[RawProjectViolation]]
+
+_VALID_SEVERITIES = ("error", "warning")
 
 
 @dataclass(frozen=True)
@@ -27,26 +46,42 @@ class Rule:
 
     id: str  # short id used in suppressions/baselines, e.g. "D001"
     name: str  # kebab-case slug, e.g. "unseeded-rng"
-    family: str  # determinism | units | error-policy | api-contract
+    family: str  # determinism | units | dimension | taint | round-trip | ...
     description: str  # one line: the invariant this rule guards
-    check: CheckFunction
+    check: Union[CheckFunction, ProjectCheckFunction]
+    scope: str = "file"  # "file" | "project"
+    severity: str = "error"  # "error" | "warning" (SARIF level)
 
     def run(self, ctx: "ModuleContext") -> Iterable[RawViolation]:
-        return self.check(ctx)
+        if self.scope != "file":
+            raise LintError(f"rule {self.id} is project-scoped")
+        return self.check(ctx)  # type: ignore[arg-type]
+
+    def run_project(self, project: "ProjectContext"
+                    ) -> Iterable[RawProjectViolation]:
+        if self.scope != "project":
+            raise LintError(f"rule {self.id} is file-scoped")
+        return self.check(project)  # type: ignore[arg-type]
 
 
 _REGISTRY: Dict[str, Rule] = {}
 
 
-def rule(rule_id: str, name: str, family: str,
-         description: str) -> Callable[[CheckFunction], CheckFunction]:
+def rule(rule_id: str, name: str, family: str, description: str,
+         scope: str = "file", severity: str = "error"
+         ) -> Callable[[Callable], Callable]:
     """Register ``check`` under ``rule_id`` (decorator)."""
+    if scope not in ("file", "project"):
+        raise LintError(f"rule {rule_id}: unknown scope {scope!r}")
+    if severity not in _VALID_SEVERITIES:
+        raise LintError(f"rule {rule_id}: unknown severity {severity!r}")
 
-    def register(check: CheckFunction) -> CheckFunction:
+    def register(check: Callable) -> Callable:
         if rule_id in _REGISTRY:
             raise LintError(f"duplicate lint rule id: {rule_id}")
         _REGISTRY[rule_id] = Rule(id=rule_id, name=name, family=family,
-                                  description=description, check=check)
+                                  description=description, check=check,
+                                  scope=scope, severity=severity)
         return check
 
     return register
@@ -64,6 +99,14 @@ def get_rule(rule_id: str) -> Rule:
 def all_rules() -> List[Rule]:
     """Every registered rule, sorted by id."""
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def file_rules() -> List[Rule]:
+    return [r for r in all_rules() if r.scope == "file"]
+
+
+def project_rules() -> List[Rule]:
+    return [r for r in all_rules() if r.scope == "project"]
 
 
 def known_ids() -> List[str]:

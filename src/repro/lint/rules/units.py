@@ -102,10 +102,7 @@ def _field_needs_unit(name: str, annotation: ast.AST) -> bool:
 def _default_carries_unit(default: Optional[ast.AST]) -> bool:
     if default is None:
         return False
-    for name in _names_in(default):
-        if name in _UNITS_NAMES:
-            return True
-    return False
+    return any(name in _UNITS_NAMES for name in _names_in(default))
 
 
 @rule("U002", "undocumented-unit-field", "units",

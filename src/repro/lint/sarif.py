@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 export: the interchange format code hosts ingest.
+
+One static schema, no third-party dependency: a single run whose tool
+driver lists every registered rule (so viewers can show the rule
+catalog even for clean runs) and whose results map one-to-one onto
+:class:`~repro.lint.engine.Violation` records.  Severity tiers map to
+SARIF ``level`` (``error``/``warning``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, TYPE_CHECKING
+
+from ..errors import LintError
+from .registry import all_rules, get_rule
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard only
+    from .engine import LintReport
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def report_to_sarif(report: "LintReport") -> Dict[str, Any]:
+    """The SARIF payload for one lint run."""
+    rules = [
+        {
+            "id": r.id,
+            "name": r.name,
+            "shortDescription": {"text": r.description},
+            "properties": {"family": r.family, "scope": r.scope},
+            "defaultConfiguration": {"level": r.severity},
+        }
+        for r in all_rules()
+    ]
+    results = []
+    for violation in report.violations:
+        try:
+            level = get_rule(violation.rule_id).severity
+        except LintError:  # replayed report naming a retired rule id
+            level = "error"
+        results.append({
+            "ruleId": violation.rule_id,
+            "level": level,
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": violation.path},
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/LINTING.md",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "properties": {
+                "filesChecked": report.files_checked,
+                "baselined": report.baselined,
+                "suppressed": report.suppressed,
+                "elapsedSeconds": round(report.elapsed_seconds, 6),
+            },
+        }],
+    }
+
+
+def render_sarif(report: "LintReport") -> str:
+    return json.dumps(report_to_sarif(report), indent=2, sort_keys=True)

@@ -385,10 +385,8 @@ def simulate_realtime(config: SimulationConfig, n_frames: int = 600,
                     for j in range(n_data)]
 
         rtt = link.rtt_estimate(t)
-        if rt.recovery == "adaptive":
-            use_fec = link.predict_arrival(t, size) + rtt > deadline
-        else:
-            use_fec = rt.recovery == "fec"
+        use_fec = (link.predict_arrival(t, size) + rtt > deadline
+                   if rt.recovery == "adaptive" else rt.recovery == "fec")
         if use_fec:
             fec_frames += 1
         else:

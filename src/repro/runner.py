@@ -158,11 +158,13 @@ def _load_checkpoint(path: str, meta: Dict[str, object]
         # rename would likely fail the same way.
         raise RunnerError(f"unreadable checkpoint {path!r}: {exc}") from exc
     except ValueError as exc:
-        return {}, dict([_quarantine(path, f"not valid JSON: {exc}")])
+        moved, reason = _quarantine(path, f"not valid JSON: {exc}")
+        return {}, {moved: reason}
     try:
         completed = _parse_checkpoint(data, meta)
     except ValueError as exc:
-        return {}, dict([_quarantine(path, str(exc))])
+        moved, reason = _quarantine(path, str(exc))
+        return {}, {moved: reason}
     return completed, {}
 
 

@@ -135,10 +135,9 @@ class ThermalPlan:
         slot = self._slot(start)
         while slot * interval < end:
             slot_start = slot * interval
-            if self.stuck_at_nominal(slot):
-                window_end = slot_start + interval
-            else:
-                window_end = slot_start + self.cap_drop_seconds(slot)
+            window_end = slot_start + (
+                interval if self.stuck_at_nominal(slot)
+                else self.cap_drop_seconds(slot))
             lo = max(start, slot_start)
             hi = min(end, window_end)
             if hi > lo:
@@ -228,7 +227,8 @@ class ThermalModel:
     # -- state advancement ---------------------------------------------
 
     def advance_to(self, time: float, power: float) -> None:
-        """Integrate the model forward to ``time`` at constant ``power``.
+        """Integrate forward to ``time`` (absolute seconds) at a
+        constant ``power`` draw in watts.
 
         Splits the span at injected-schedule edges (so revocation time
         integrates exactly) and at ``_MAX_PIECE_FRACTION`` of the model

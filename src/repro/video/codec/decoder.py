@@ -95,11 +95,11 @@ class Decoder:
             for left in range(0, width, MACROBLOCK):
                 if not concealing:
                     try:
-                        if frame_type is FrameType.I:
-                            recon = self._read_residual(reader, table) + 128.0
-                        else:
-                            recon = self._decode_p_macroblock(
-                                reader, table, top, left)
+                        recon = (
+                            self._read_residual(reader, table) + 128.0
+                            if frame_type is FrameType.I
+                            else self._decode_p_macroblock(
+                                reader, table, top, left))
                         if recon.shape != (MACROBLOCK, MACROBLOCK):
                             # A corrupt motion vector walked off the
                             # reference: the predictor came back short.

@@ -31,10 +31,7 @@ def quant_table(quality: int, block_size: int = 8) -> np.ndarray:
     """Quantization steps for the given quality in [1, 100]."""
     if not 1 <= quality <= 100:
         raise CodecError(f"quality must be in [1, 100], got {quality}")
-    if quality < 50:
-        scale = 5000.0 / quality
-    else:
-        scale = 200.0 - 2.0 * quality
+    scale = 5000.0 / quality if quality < 50 else 200.0 - 2.0 * quality
     table = np.floor((JPEG_LUMA_QUANT * scale + 50.0) / 100.0)
     table = np.clip(table, 1.0, 255.0)
     if block_size != 8:
