@@ -1,0 +1,38 @@
+"""Deterministic retry pacing shared by the runner and shard supervisor.
+
+Retries that fire back-to-back hammer whatever transient condition
+caused the failure; retries paced by a *stateful* RNG would make the
+schedule depend on how many other retries happened first.  This module
+gives every retry site one audited policy: exponential backoff with
+*seeded* jitter, where each delay is a pure splitmix64 hash of
+``(seed, site, index, attempt)`` — the same order-free determinism
+contract as :mod:`repro.faults`.  Two runs of the same supervised job
+therefore sleep the same schedule, and tests can predict every delay
+without sleeping at all.
+"""
+
+from __future__ import annotations
+
+from .faults import hash_u01
+
+#: Hash-site discriminators (style of :mod:`repro.faults`): matrix-runner
+#: retry rounds and shard-stripe retries must never correlate.
+SITE_MATRIX_RETRY = 0x4D58
+SITE_STRIPE_RETRY = 0x5348
+
+
+def backoff_delay(seed: int, site: int, index: int, attempt: int,
+                  base: float, cap: float,
+                  jitter: float = 0.5) -> float:
+    """Seconds to wait before retry ``attempt`` (0-based) of ``index``.
+
+    The schedule is ``min(cap, base * 2**attempt)`` scaled by a seeded
+    jitter factor in ``[1 - jitter, 1)``, so concurrent retriers with
+    different indices decorrelate instead of thundering together.  A
+    non-positive ``base`` disables backoff entirely (returns 0.0).
+    """
+    if base <= 0.0:
+        return 0.0
+    scale = min(cap, base * (2.0 ** attempt))
+    u = hash_u01(seed, site, index, attempt)
+    return scale * (1.0 - jitter + jitter * u)

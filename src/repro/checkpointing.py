@@ -1,0 +1,127 @@
+"""Shared checkpoint persistence with quarantine-on-corruption.
+
+A multi-hour run must survive a power cut without discarding completed
+work — and must also survive its *own checkpoint* being the casualty:
+losing a half-written file to a crash is exactly the failure mode
+checkpointing exists to absorb, so an unusable checkpoint is moved
+aside (``<path>.corrupt``) and the run starts fresh instead of raising.
+
+Both durable-run sites — the matrix runner (:mod:`repro.runner`) and
+the fleet stripe supervisor (:mod:`repro.fleet.shard`) — go through
+this one audited code path, so the parse/validate/quarantine
+discipline cannot drift between them:
+
+* top level must be a JSON object with the expected ``version``;
+* the saved ``meta`` must equal the current run's meta (a checkpoint
+  written by a *different* run is quarantined, never merged);
+* every ``completed`` entry must decode through the caller's
+  ``decode_entry`` — one bad entry poisons the file (the writer is
+  atomic, so partial validity means corruption, not partial progress);
+* writes are atomic (tmp + rename), so the file on disk is always
+  either the old complete checkpoint or the new complete one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, List, Tuple, Type, TypeVar
+
+from .errors import ReproError, RunnerError
+
+T = TypeVar("T")
+
+
+def quarantine(path: str, reason: str,
+               error: Type[ReproError] = RunnerError) -> Tuple[str, str]:
+    """Move an unusable checkpoint to ``<path>.corrupt``.
+
+    The evidence survives for post-mortems while the original path is
+    freed for a fresh checkpoint.  Returns ``(moved-to path, reason)``;
+    raises ``error`` if even the rename fails (e.g. a read-only
+    checkpoint directory), because then no fresh checkpoint could be
+    written either and silently running without durability would
+    betray the caller's intent.
+    """
+    target = path + ".corrupt"
+    try:
+        os.replace(path, target)
+    except OSError as exc:
+        raise error(
+            f"cannot quarantine checkpoint {path!r} to {target!r}: "
+            f"{exc}") from exc
+    return target, reason
+
+
+def parse_checkpoint(data: object, version: int, meta: Dict[str, object],
+                     decode_entry: Callable[[object], T]) -> List[T]:
+    """Validate a decoded checkpoint payload entry by entry.
+
+    Raises :class:`ValueError` with a quarantine-ready reason on any
+    structural problem; ``decode_entry`` failures (``KeyError`` /
+    ``TypeError`` / ``ValueError`` / ``AttributeError``) are wrapped
+    with the entry index so the reason names the poisoned record.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"top level is {type(data).__name__}, not an "
+                         "object")
+    if data.get("version") != version:
+        raise ValueError(f"version {data.get('version')!r}, expected "
+                         f"{version}")
+    if data.get("meta") != meta:
+        raise ValueError(
+            "written by a different run (saved meta "
+            f"{data.get('meta')!r} != current {meta!r})")
+    entries = data.get("completed", [])
+    if not isinstance(entries, list):
+        raise ValueError("'completed' is not a list")
+    decoded: List[T] = []
+    for index, entry in enumerate(entries):
+        try:
+            decoded.append(decode_entry(entry))
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ValueError(
+                f"completed[{index}] does not decode: "
+                f"{type(exc).__name__}: {exc}") from exc
+    return decoded
+
+
+def load_checkpoint(path: str, version: int, meta: Dict[str, object],
+                    decode_entry: Callable[[object], T],
+                    error: Type[ReproError] = RunnerError,
+                    ) -> Tuple[List[T], Dict[str, str]]:
+    """Read completed entries from ``path`` (empty if absent).
+
+    An unusable file — truncated or non-JSON, wrong version, written
+    by a different run, or holding entries that ``decode_entry``
+    rejects — is quarantined to ``<path>.corrupt`` and the run starts
+    fresh.  Returns ``(decoded entries, {quarantine path: reason})``.
+    """
+    if not os.path.exists(path):
+        return [], {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        # Not corruption: the filesystem refused us, and a quarantine
+        # rename would likely fail the same way.
+        raise error(f"unreadable checkpoint {path!r}: {exc}") from exc
+    except ValueError as exc:
+        moved, reason = quarantine(path, f"not valid JSON: {exc}", error)
+        return [], {moved: reason}
+    try:
+        decoded = parse_checkpoint(data, version, meta, decode_entry)
+    except ValueError as exc:
+        moved, reason = quarantine(path, str(exc), error)
+        return [], {moved: reason}
+    return decoded, {}
+
+
+def save_checkpoint(path: str, version: int, meta: Dict[str, object],
+                    entries: List[Dict[str, object]]) -> None:
+    """Atomically persist every finished entry (tmp + rename)."""
+    payload = {"version": version, "meta": meta, "completed": entries}
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)

@@ -310,37 +310,115 @@ def _cmd_thermal(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     import json
 
+    from .faults import ShardFaultConfig
     from .fleet import (
         PopulationSpec,
+        SupervisorConfig,
         calibrate,
         default_population,
         load_or_calibrate,
         run_fleet,
+        run_fleet_supervised,
     )
 
     if args.spec:
         with open(args.spec, "r", encoding="utf-8") as handle:
             spec = PopulationSpec.from_jsonable(json.load(handle))
+    elif args.smoke:
+        # A 1-device, 2-title population whose calibration runs in
+        # seconds — the CI chaos-smoke target.
+        from .fleet import DeviceClass, LognormalComponent, RegionSpec
+        from .units import MBPS
+        spec = PopulationSpec(
+            device_classes=(DeviceClass(name="ref", scheme="gab"),),
+            regions=(RegionSpec(
+                name="town", cells=4, cell_capacity=40 * MBPS,
+                bandwidth=(LognormalComponent(median=10 * MBPS,
+                                              sigma=0.5),),
+            ),),
+            titles=("V1", "V8"),
+            calib_frames=16,
+            calib_seed=args.seed,
+        )
     else:
         spec = default_population()
+    sessions = min(args.sessions, 2000) if args.smoke else args.sessions
+    shards = max(args.shards, 4) if args.chaos else args.shards
 
     def status(line: str) -> None:
         print(f"  {line} ...", file=sys.stderr)
 
     calibration = (load_or_calibrate(spec, args.calibration, progress=status)
                    if args.calibration else calibrate(spec, progress=status))
-    result = run_fleet(spec, args.sessions, seed=args.seed,
-                       shards=args.shards,
-                       contention=not args.no_contention,
-                       calibration=calibration, progress=status)
-    print(result.report())
+
+    supervised = args.chaos or args.workers is not None or args.checkpoint
+    if not supervised:
+        result = run_fleet(spec, sessions, seed=args.seed,
+                           shards=shards,
+                           contention=not args.no_contention,
+                           calibration=calibration, progress=status)
+        print(result.report())
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(result.to_jsonable(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            print(f"\nwrote report to {args.json}")
+        return 0
+
+    faults = None
+    if args.chaos:
+        # A seeded kill/stall/corrupt schedule dense enough that a
+        # typical stripe plan absorbs several of each; bounded to the
+        # first two attempts so the run always completes.
+        faults = ShardFaultConfig(
+            crash_rate=0.25, stall_rate=0.1, corrupt_rate=0.2,
+            slow_rate=0.1, slow_seconds=0.3, max_faulty_attempts=2,
+            seed=args.chaos_seed)
+    supervisor = SupervisorConfig(
+        workers=args.workers if args.workers is not None else 2,
+        lease_seconds=1.0, heartbeat_seconds=0.15,
+        max_retries=6, backoff_base=0.02, backoff_cap=0.25,
+        speculation_min_seconds=0.3)
+    run = run_fleet_supervised(
+        spec, sessions, seed=args.seed, shards=shards,
+        contention=not args.no_contention, calibration=calibration,
+        faults=faults, supervisor=supervisor,
+        checkpoint=args.checkpoint, progress=status)
+    report = run.report
+    print(run.result.report())
+    print(f"\nsupervision: {report.crashes} crashes, "
+          f"{report.lease_revocations} lease revocations, "
+          f"{report.corrupt_rejected} corrupt partials rejected, "
+          f"{report.speculations} speculations, "
+          f"{report.retries} retries, "
+          f"{report.resumed_stripes} stripes resumed from checkpoint")
+
+    identical = True
+    if args.chaos:
+        status("chaos verdict: re-running serial shards=1 reference")
+        reference = run_fleet(spec, sessions, seed=args.seed, shards=1,
+                              contention=not args.no_contention,
+                              calibration=calibration)
+        identical = (json.dumps(reference.to_jsonable(), sort_keys=True)
+                     == json.dumps(run.result.to_jsonable(),
+                                   sort_keys=True))
+        verdict = ("bit-identical to the undisturbed serial run"
+                   if identical else
+                   "DIVERGED from the undisturbed serial run")
+        print(f"chaos: absorbed {report.faults_absorbed} faults; "
+              f"result {verdict}")
     if args.json:
+        payload = {
+            "identical_to_serial": identical if args.chaos else None,
+            "supervision": report.to_jsonable(),
+            "fleet": run.result.to_jsonable(),
+        }
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(result.to_jsonable(), handle, indent=2,
-                      sort_keys=True)
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"\nwrote report to {args.json}")
-    return 0
+    return 0 if identical else 1
 
 
 def _cmd_realtime(args: argparse.Namespace) -> int:
@@ -627,6 +705,23 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--calibration", default=None,
                        help="surrogate calibration cache file "
                             "(created/validated on use)")
+    fleet.add_argument("--workers", type=int, default=None,
+                       help="run under the supervised shard service "
+                            "with this many worker processes (0 = "
+                            "inline, pool-free)")
+    fleet.add_argument("--checkpoint", default=None,
+                       help="persist completed stripes to this JSON "
+                            "file and resume from it on rerun")
+    fleet.add_argument("--chaos", action="store_true",
+                       help="inject a seeded crash/stall/corrupt/slow "
+                            "schedule, then assert the result is "
+                            "bit-identical to the serial run "
+                            "(exit 1 if not)")
+    fleet.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the injected fault schedule")
+    fleet.add_argument("--smoke", action="store_true",
+                       help="reduced population + cheap calibration "
+                            "(the CI chaos-smoke configuration)")
     fleet.add_argument("--json", default=None,
                        help="also write the FleetResult JSON here")
     fleet.set_defaults(func=_cmd_fleet)

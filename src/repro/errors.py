@@ -65,6 +65,12 @@ class FleetError(ReproError):
     stale calibration, shard bookkeeping errors)."""
 
 
+class ShardError(FleetError):
+    """The supervised shard service could not complete a stripe
+    (lease exhausted its retries, a worker pool failed to start, or
+    the merge plane was driven inconsistently)."""
+
+
 class RealtimeError(ReproError):
     """The realtime (live/interactive) mode was misconfigured or a
     chaos campaign's shards disagreed on their aggregation params."""

@@ -45,6 +45,8 @@ _SITE_LOSS_FRACTION = 0x10F5
 _SITE_BLOCK = 0xB10C
 _SITE_COLLISION = 0xC011
 _SITE_PACKET = 0x9ACF
+_SITE_STRIPE_FAULT = 0x57A1
+_SITE_STRIPE_SLOW = 0x57A2
 
 _MASK64 = (1 << 64) - 1
 #: 2**-53 — maps the top 53 bits of a hash to a uniform in [0, 1).
@@ -177,6 +179,110 @@ class FaultPlan:
             return False
         return _hash_u01(self.config.seed, _SITE_COLLISION, frame_index,
                          block_index) < rate
+
+
+class ShardFault(Enum):
+    """What an injected shard fault does to one stripe attempt."""
+
+    CRASH = "crash"  # worker process dies after compute, before reply
+    STALL = "stall"  # worker stops heartbeating; lease must revoke it
+    CORRUPT = "corrupt"  # partial arrives with a mutated payload
+    SLOW = "slow"  # worker finishes correctly, but late (straggler)
+
+
+@dataclass(frozen=True)
+class ShardFaultConfig:
+    """Rates and shape of an injected shard-fault campaign.
+
+    The four rates are cumulative-threshold probabilities per stripe
+    *attempt* (a retried stripe re-rolls); their sum must stay <= 1.
+    ``max_faulty_attempts`` bounds injection to the first N attempts of
+    each stripe, so a run with ``max_retries >= max_faulty_attempts``
+    is guaranteed to eventually complete — chaos tests assert on the
+    *result* of a finished run, not on livelocks.
+    """
+
+    crash_rate: float = 0.0
+    stall_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    slow_rate: float = 0.0
+    slow_seconds: float = 0.5
+    max_faulty_attempts: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rates = (self.crash_rate, self.stall_rate, self.corrupt_rate,
+                 self.slow_rate)
+        if any(rate < 0.0 for rate in rates):
+            raise FaultError(f"shard fault rates must be >= 0, got {rates}")
+        if sum(rates) > 1.0:
+            raise FaultError(
+                f"shard fault rates sum to {sum(rates)} > 1")
+        if self.slow_seconds < 0.0:
+            raise FaultError(
+                f"slow_seconds must be >= 0, got {self.slow_seconds}")
+        if self.max_faulty_attempts < 0:
+            raise FaultError("max_faulty_attempts must be >= 0, got "
+                             f"{self.max_faulty_attempts}")
+
+    @property
+    def enabled(self) -> bool:
+        return (self.crash_rate + self.stall_rate + self.corrupt_rate
+                + self.slow_rate) > 0.0
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """Order-free fault schedule for supervised stripe execution.
+
+    Like :class:`FaultPlan`, every decision is a pure splitmix64 hash
+    of its coordinates — here ``(seed, site, phase, stripe, attempt)``
+    — so which worker picks up a stripe, and in what order, cannot
+    change which attempts are faulted.  The phase string is folded to
+    an integer via its UTF-8 bytes so "load" and "score" attempts of
+    the same stripe draw independently.
+    """
+
+    config: ShardFaultConfig
+
+    @classmethod
+    def from_config(cls, config: Optional[ShardFaultConfig]
+                    ) -> Optional["ShardFaultPlan"]:
+        """A plan for ``config``, or ``None`` when injection is off."""
+        if config is None or not config.enabled:
+            return None
+        return cls(config)
+
+    @staticmethod
+    def _phase_index(phase: str) -> int:
+        return int.from_bytes(phase.encode("utf-8"), "big") & _MASK64
+
+    def stripe_fault(self, phase: str, stripe_id: int,
+                     attempt: int) -> Optional[ShardFault]:
+        """Fault (if any) injected into one stripe attempt."""
+        cfg = self.config
+        if attempt >= cfg.max_faulty_attempts:
+            return None
+        u = _hash_u01(cfg.seed, _SITE_STRIPE_FAULT,
+                      self._phase_index(phase), stripe_id, attempt)
+        if u < cfg.crash_rate:
+            return ShardFault.CRASH
+        if u < cfg.crash_rate + cfg.stall_rate:
+            return ShardFault.STALL
+        if u < cfg.crash_rate + cfg.stall_rate + cfg.corrupt_rate:
+            return ShardFault.CORRUPT
+        if u < (cfg.crash_rate + cfg.stall_rate + cfg.corrupt_rate
+                + cfg.slow_rate):
+            return ShardFault.SLOW
+        return None
+
+    def slow_seconds(self, phase: str, stripe_id: int,
+                     attempt: int) -> float:
+        """How long a SLOW fault delays this attempt (jittered in
+        ``[0.5, 1.5) * config.slow_seconds``)."""
+        u = _hash_u01(self.config.seed, _SITE_STRIPE_SLOW,
+                      self._phase_index(phase), stripe_id, attempt)
+        return self.config.slow_seconds * (0.5 + u)
 
 
 def conceal_blocks(blocks: np.ndarray, corrupt: np.ndarray,

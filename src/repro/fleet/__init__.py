@@ -16,7 +16,26 @@ from .engine import (
     SESSION_CHUNK,
     CohortAggregate,
     FleetResult,
+    cohort_keys,
     run_fleet,
+)
+from .shard import (
+    PHASE_LOAD,
+    PHASE_SCORE,
+    MergePlane,
+    StripePartial,
+    StripeTask,
+    StripeWorld,
+    execute_stripe,
+    validate_partial,
+)
+from .supervision import (
+    ShardEvent,
+    SupervisedFleetRun,
+    SupervisionReport,
+    Supervisor,
+    SupervisorConfig,
+    run_fleet_supervised,
 )
 from .population import (
     DeviceClass,
@@ -44,8 +63,19 @@ from .surrogate import (
 __all__ = [
     "HIST_METRICS",
     "METRICS",
+    "PHASE_LOAD",
+    "PHASE_SCORE",
     "SESSION_CHUNK",
     "CalibEntry",
+    "MergePlane",
+    "ShardEvent",
+    "StripePartial",
+    "StripeTask",
+    "StripeWorld",
+    "SupervisedFleetRun",
+    "SupervisionReport",
+    "Supervisor",
+    "SupervisorConfig",
     "CellLoadAccumulator",
     "CohortAggregate",
     "ContentionField",
@@ -61,9 +91,13 @@ __all__ = [
     "SessionChunk",
     "StreamingMoments",
     "calibrate",
+    "cohort_keys",
     "default_population",
+    "execute_stripe",
     "hash_u01_array",
     "hash_u64_array",
     "load_or_calibrate",
     "run_fleet",
+    "run_fleet_supervised",
+    "validate_partial",
 ]

@@ -83,6 +83,29 @@ class CellLoadAccumulator:
                              "shapes (specs differ)")
         self._diff += other._diff
 
+    def to_jsonable(self) -> Dict[str, object]:
+        """Lossless plain-data form (integer diffs are exact in JSON).
+
+        This is the wire format a shard worker ships its pass-1
+        partial home in; :meth:`from_jsonable` is the inverse, so a
+        load field that crossed a process boundary merges bit-
+        identically with one that never left.
+        """
+        return {"diff": self._diff.tolist()}
+
+    @classmethod
+    def from_jsonable(cls, spec: PopulationSpec,
+                      data: Dict[str, object]) -> "CellLoadAccumulator":
+        """Inverse of :meth:`to_jsonable` (shape-checked against spec)."""
+        accumulator = cls(spec)
+        diff = np.asarray(data["diff"], dtype=np.int64)
+        if diff.shape != accumulator._diff.shape:
+            raise FleetError(
+                f"load-field diff has shape {diff.shape}, spec wants "
+                f"{accumulator._diff.shape}")
+        accumulator._diff = diff
+        return accumulator
+
     def finalize(self) -> "ContentionField":
         """Prefix-sum the differences into per-epoch throttle factors."""
         spec = self.spec

@@ -335,6 +335,59 @@ def _stripes(n_chunks: int, shards: int) -> List[range]:
     return stripes
 
 
+def cohort_keys(spec: PopulationSpec) -> List[str]:
+    """Canonical cohort-key order for a spec.
+
+    Every stripe partial — serial or shipped home by a shard worker —
+    must carry exactly these keys; the merge plane enforces it.
+    """
+    return (["fleet"]
+            + [f"device:{d.name}" for d in spec.device_classes]
+            + [f"region:{r.name}" for r in spec.regions]
+            + [f"title:{t}" for t in spec.titles])
+
+
+def compute_load_stripe(spec: PopulationSpec, model: PopulationModel,
+                        bounds: Sequence[Tuple[int, int]],
+                        chunk_ids: Sequence[int]) -> CellLoadAccumulator:
+    """Pass-1 partial for one stripe: accumulated cell demand.
+
+    Pure in ``(spec, seed, chunk_ids)`` — the population model re-draws
+    chunks on demand, so any process (the serial fold, a shard worker,
+    a speculative re-execution) computes the identical partial.
+    """
+    accumulator = CellLoadAccumulator(spec)
+    for chunk_index in chunk_ids:
+        start, count = bounds[chunk_index]
+        accumulator.accumulate(model.draw_chunk(start, count))
+    return accumulator
+
+
+def compute_score_stripe(spec: PopulationSpec, model: PopulationModel,
+                         bounds: Sequence[Tuple[int, int]],
+                         chunk_ids: Sequence[int],
+                         field: Optional[ContentionField],
+                         tables: Dict[str, np.ndarray], fps: float,
+                         seed: int) -> Dict[str, CohortAggregate]:
+    """Pass-2 partial for one stripe: per-cohort aggregates.
+
+    Same purity contract as :func:`compute_load_stripe`; ``field`` is
+    the *globally finalized* contention field (never a partial one),
+    so the throttle factors a stripe reads are shard-independent.
+    """
+    partial = {key: CohortAggregate.empty(key, seed)
+               for key in cohort_keys(spec)}
+    for chunk_index in chunk_ids:
+        start, count = bounds[chunk_index]
+        chunk = model.draw_chunk(start, count)
+        factor = (field.mean_factor(chunk) if field is not None
+                  else np.ones(count, dtype=np.float64))
+        metrics = _score_chunk(spec, chunk, factor, tables, fps)
+        for key, mask in _cohort_masks(spec, chunk):
+            partial[key].add_chunk(chunk.uid, metrics, mask)
+    return partial
+
+
 def run_fleet(spec: PopulationSpec, n_sessions: int, seed: int = 0,
               shards: int = 1, contention: bool = True,
               calibration: Optional[FleetCalibration] = None,
@@ -379,54 +432,29 @@ def run_fleet(spec: PopulationSpec, n_sessions: int, seed: int = 0,
     bounds = _chunk_bounds(n_sessions)
     stripes = _stripes(len(bounds), shards)
 
+    # The serial fold goes through the same merge plane the supervised
+    # shard service uses, so there is exactly one fold code path to
+    # audit for the bit-identity contract.  Deferred import: shard.py
+    # imports this module at top level.
+    from .shard import MergePlane
+    plane = MergePlane(spec, seed)
+
     field: Optional[ContentionField] = None
     if contention:
         if progress is not None:
             progress(f"pass 1/2: cell load over {len(bounds)} chunks")
-        merged_load: Optional[CellLoadAccumulator] = None
-        for stripe in stripes:
-            accumulator = CellLoadAccumulator(spec)
-            for chunk_index in stripe:
-                start, count = bounds[chunk_index]
-                accumulator.accumulate(model.draw_chunk(start, count))
-            if merged_load is None:
-                merged_load = accumulator
-            else:
-                merged_load.merge(accumulator)
-        assert merged_load is not None
-        field = merged_load.finalize()
+        for stripe_id, stripe in enumerate(stripes):
+            plane.offer_load(
+                stripe_id,
+                compute_load_stripe(spec, model, bounds, stripe))
+        field = plane.finalize_load()
 
     if progress is not None:
         progress(f"pass 2/2: scoring {n_sessions} sessions "
                  f"({shards} shard{'s' if shards > 1 else ''})")
-    cohort_keys = (["fleet"]
-                   + [f"device:{d.name}" for d in spec.device_classes]
-                   + [f"region:{r.name}" for r in spec.regions]
-                   + [f"title:{t}" for t in spec.titles])
-    merged: Optional[Dict[str, CohortAggregate]] = None
-    for stripe in stripes:
-        partial = {key: CohortAggregate.empty(key, seed)
-                   for key in cohort_keys}
-        for chunk_index in stripe:
-            start, count = bounds[chunk_index]
-            chunk = model.draw_chunk(start, count)
-            factor = (field.mean_factor(chunk) if field is not None
-                      else np.ones(count, dtype=np.float64))
-            metrics = _score_chunk(spec, chunk, factor, tables, fps)
-            for key, mask in _cohort_masks(spec, chunk):
-                partial[key].add_chunk(chunk.uid, metrics, mask)
-        merged = (partial if merged is None
-                  else {key: merged[key].merge(partial[key])
-                        for key in cohort_keys})
-    assert merged is not None
-
-    return FleetResult(
-        spec_fingerprint=spec.fingerprint(),
-        n_sessions=n_sessions,
-        seed=seed,
-        contention=contention,
-        cohorts=merged,
-        saturated_cell_epochs=(field.saturated_cell_epochs
-                               if field is not None else 0),
-        peak_cell_load=(field.peak_load if field is not None else 0.0),
-    )
+    for stripe_id, stripe in enumerate(stripes):
+        plane.offer_score(
+            stripe_id,
+            compute_score_stripe(spec, model, bounds, stripe, field,
+                                 tables, fps, seed))
+    return plane.result(n_sessions=n_sessions, contention=contention)

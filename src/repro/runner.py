@@ -10,8 +10,10 @@ A multi-hour matrix must also survive the real world: one crashing
 job must not take down the other 95, a wedged worker must not hold
 the pool forever, and a power cut must not discard completed work.
 The runner therefore supervises its jobs — per-job timeout, bounded
-retries, crashed jobs isolated into ``MatrixResult.errors`` — and can
-persist finished jobs to a JSON checkpoint that a rerun resumes from.
+retries paced by seeded exponential backoff (:mod:`repro.backoff`),
+crashed jobs isolated into ``MatrixResult.errors`` — and can persist
+finished jobs to a JSON checkpoint that a rerun resumes from
+(:mod:`repro.checkpointing` holds the shared quarantine discipline).
 
 Simulations are deterministic, so the parallel matrix — and a
 checkpoint-resumed one — is bit-identical to a sequential run.
@@ -19,14 +21,16 @@ checkpoint-resumed one — is bit-identical to a sequential run.
 
 from __future__ import annotations
 
-import json
 import os
+import time
 from collections.abc import Mapping
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .backoff import SITE_MATRIX_RETRY, backoff_delay
+from .checkpointing import load_checkpoint, save_checkpoint
 from .config import FIG11_SCHEMES, SchemeConfig, SimulationConfig
 from .core.pipeline import simulate
 from .core.results import RunResult
@@ -34,6 +38,8 @@ from .errors import ReproError, RunnerError
 from .video import workload, workload_keys
 
 MatrixKey = Tuple[str, str]  # (video key, scheme name)
+_Job = Tuple[str, SchemeConfig, Optional[int], int,
+             Optional[SimulationConfig]]
 
 _CHECKPOINT_VERSION = 1
 
@@ -77,113 +83,44 @@ class MatrixResult(Mapping):
         return not self.errors
 
 
-def _run_one(args) -> Tuple[MatrixKey, RunResult]:
+def _run_one(args: _Job) -> Tuple[MatrixKey, RunResult]:
     video_key, scheme, n_frames, seed, config = args
     result = simulate(workload(video_key), scheme, n_frames=n_frames,
                       seed=seed, config=config)
     return (video_key, scheme.name), result
 
 
-def _job_key(job) -> MatrixKey:
+def _job_key(job: _Job) -> MatrixKey:
     return job[0], job[1].name
 
 
 # -- checkpointing -------------------------------------------------------------
 
 
-def _quarantine(path: str, reason: str) -> Tuple[str, str]:
-    """Move an unusable checkpoint to ``<path>.corrupt``.
-
-    The evidence survives for post-mortems while the original path is
-    freed for a fresh checkpoint.  Returns ``(moved-to path, reason)``.
-    """
-    target = path + ".corrupt"
-    try:
-        os.replace(path, target)
-    except OSError as exc:
-        raise RunnerError(
-            f"cannot quarantine checkpoint {path!r} to {target!r}: "
-            f"{exc}") from exc
-    return target, reason
+def _decode_entry(entry: object) -> Tuple[MatrixKey, RunResult]:
+    """One checkpoint record back to its (key, result) pair."""
+    if not isinstance(entry, dict):
+        raise TypeError(f"entry is {type(entry).__name__}, not an object")
+    key = (str(entry["video"]), str(entry["scheme"]))
+    return key, RunResult.from_jsonable(entry["result"])
 
 
-def _parse_checkpoint(data: object, meta: Dict[str, object]
-                      ) -> Dict[MatrixKey, RunResult]:
-    """Validate a decoded checkpoint payload entry by entry."""
-    if not isinstance(data, dict):
-        raise ValueError(f"top level is {type(data).__name__}, not an "
-                         "object")
-    if data.get("version") != _CHECKPOINT_VERSION:
-        raise ValueError(f"version {data.get('version')!r}, expected "
-                         f"{_CHECKPOINT_VERSION}")
-    if data.get("meta") != meta:
-        raise ValueError(
-            "written by a different matrix (saved meta "
-            f"{data.get('meta')!r} != current {meta!r})")
-    completed: Dict[MatrixKey, RunResult] = {}
-    entries = data.get("completed", [])
-    if not isinstance(entries, list):
-        raise ValueError("'completed' is not a list")
-    for index, entry in enumerate(entries):
-        try:
-            key = (entry["video"], entry["scheme"])
-            completed[key] = RunResult.from_jsonable(entry["result"])
-        except (KeyError, TypeError, ValueError, AttributeError) as exc:
-            raise ValueError(
-                f"completed[{index}] does not decode to a RunResult: "
-                f"{type(exc).__name__}: {exc}") from exc
-    return completed
+def _load_matrix_checkpoint(path: str, meta: Dict[str, object]
+                            ) -> Tuple[Dict[MatrixKey, RunResult],
+                                       Dict[str, str]]:
+    """Completed jobs from ``path`` via the shared quarantine path."""
+    entries, quarantined = load_checkpoint(
+        path, _CHECKPOINT_VERSION, meta, _decode_entry, RunnerError)
+    return dict(entries), quarantined
 
 
-def _load_checkpoint(path: str, meta: Dict[str, object]
-                     ) -> Tuple[Dict[MatrixKey, RunResult],
-                                Dict[str, str]]:
-    """Read completed jobs from ``path`` (empty if absent).
-
-    An unusable file — truncated or non-JSON, wrong version, written
-    by a different matrix, or holding entries that do not decode back
-    to :class:`RunResult` — is quarantined to ``<path>.corrupt`` and
-    the matrix starts fresh: losing a half-written checkpoint to a
-    crash is exactly the failure mode checkpointing exists to absorb,
-    so it must not itself be fatal.  Returns ``(completed runs,
-    {quarantine path: reason})``.
-    """
-    if not os.path.exists(path):
-        return {}, {}
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
-    except OSError as exc:
-        # Not corruption: the filesystem refused us, and a quarantine
-        # rename would likely fail the same way.
-        raise RunnerError(f"unreadable checkpoint {path!r}: {exc}") from exc
-    except ValueError as exc:
-        moved, reason = _quarantine(path, f"not valid JSON: {exc}")
-        return {}, {moved: reason}
-    try:
-        completed = _parse_checkpoint(data, meta)
-    except ValueError as exc:
-        moved, reason = _quarantine(path, str(exc))
-        return {}, {moved: reason}
-    return completed, {}
-
-
-def _save_checkpoint(path: str, meta: Dict[str, object],
-                     results: Dict[MatrixKey, RunResult]) -> None:
+def _save_matrix_checkpoint(path: str, meta: Dict[str, object],
+                            results: Dict[MatrixKey, RunResult]) -> None:
     """Atomically persist every finished job (tmp + rename)."""
-    payload = {
-        "version": _CHECKPOINT_VERSION,
-        "meta": meta,
-        "completed": [
-            {"video": video, "scheme": scheme,
-             "result": result.to_jsonable()}
-            for (video, scheme), result in sorted(results.items())
-        ],
-    }
-    tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
-    os.replace(tmp, path)
+    save_checkpoint(path, _CHECKPOINT_VERSION, meta, [
+        {"video": video, "scheme": scheme, "result": result.to_jsonable()}
+        for (video, scheme), result in sorted(results.items())
+    ])
 
 
 # -- supervised execution ------------------------------------------------------
@@ -204,13 +141,14 @@ def _failure_message(exc: BaseException) -> str:
     return f"{type(wrapped).__name__}: {wrapped}"
 
 
-def _run_round_inline(jobs) -> Tuple[Dict[MatrixKey, RunResult],
-                                     List[Tuple[object, str]]]:
+def _run_round_inline(jobs: Sequence[_Job]
+                      ) -> Tuple[Dict[MatrixKey, RunResult],
+                                 List[Tuple[_Job, str]]]:
     """One attempt over ``jobs`` without a pool (timeouts inapplicable:
     there is no worker to abandon, so a wedged job wedges the caller
     exactly as it would without the runner)."""
     done: Dict[MatrixKey, RunResult] = {}
-    failed: List[Tuple[object, str]] = []
+    failed: List[Tuple[_Job, str]] = []
     for job in jobs:
         try:
             key, result = _run_one(job)
@@ -222,9 +160,10 @@ def _run_round_inline(jobs) -> Tuple[Dict[MatrixKey, RunResult],
     return done, failed
 
 
-def _run_round_pool(jobs, processes: int, job_timeout: Optional[float]
+def _run_round_pool(jobs: Sequence[_Job], processes: int,
+                    job_timeout: Optional[float]
                     ) -> Tuple[Dict[MatrixKey, RunResult],
-                               List[Tuple[object, str]]]:
+                               List[Tuple[_Job, str]]]:
     """One attempt over ``jobs`` on a fresh process pool.
 
     ``job_timeout`` bounds how long the caller waits on each future.
@@ -237,7 +176,7 @@ def _run_round_pool(jobs, processes: int, job_timeout: Optional[float]
     the round's pool shuts down.
     """
     done: Dict[MatrixKey, RunResult] = {}
-    failed: List[Tuple[object, str]] = []
+    failed: List[Tuple[_Job, str]] = []
     with ProcessPoolExecutor(
             max_workers=min(processes, len(jobs))) as pool:
         futures = [(job, pool.submit(_run_one, job)) for job in jobs]
@@ -266,6 +205,8 @@ def run_matrix(
     processes: Optional[int] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 0,
+    retry_backoff: float = 0.25,
+    retry_backoff_cap: float = 8.0,
     checkpoint: Optional[str] = None,
     isolate_errors: bool = True,
 ) -> MatrixResult:
@@ -285,14 +226,21 @@ def run_matrix(
             (pool mode only; ``None`` waits forever).
         max_retries: extra attempts for a failed or timed-out job
             before it lands in ``errors``.
+        retry_backoff: base seconds of the exponential backoff slept
+            before each retry round (seeded jitter, deterministic in
+            ``seed`` — see :func:`repro.backoff.backoff_delay`).
+            ``0`` retries immediately.
+        retry_backoff_cap: ceiling on one backoff sleep, seconds.
         checkpoint: JSON file to persist finished jobs to.  If it
             already exists (same matrix meta), its jobs are loaded
             instead of re-run, so a killed matrix resumes where it
             stopped — bit-identically, since simulations are
-            deterministic.  A corrupt, truncated, or wrong-matrix
-            checkpoint is quarantined to ``<checkpoint>.corrupt``
-            (recorded in ``MatrixResult.quarantined``) and the matrix
-            starts fresh instead of raising.
+            deterministic.  Checkpointed jobs outside the requested
+            matrix (a stale superset) are ignored, not merged.  A
+            corrupt, truncated, or wrong-matrix checkpoint is
+            quarantined to ``<checkpoint>.corrupt`` (recorded in
+            ``MatrixResult.quarantined``) and the matrix starts fresh
+            instead of raising.
         isolate_errors: collect failing jobs into ``errors`` (the
             default) instead of re-raising the first failure.
 
@@ -305,14 +253,15 @@ def run_matrix(
     if max_retries < 0:
         raise RunnerError(f"max_retries must be >= 0, got {max_retries}")
     keys = list(videos) if videos is not None else list(workload_keys())
-    jobs = [(video_key, scheme, n_frames, seed, config)
-            for video_key in keys for scheme in schemes]
+    jobs: List[_Job] = [(video_key, scheme, n_frames, seed, config)
+                        for video_key in keys for scheme in schemes]
 
     matrix = MatrixResult()
-    meta = {"n_frames": n_frames, "seed": seed}
+    meta: Dict[str, object] = {"n_frames": n_frames, "seed": seed}
     if checkpoint is not None:
         wanted = {_job_key(job) for job in jobs}
-        completed, matrix.quarantined = _load_checkpoint(checkpoint, meta)
+        completed, matrix.quarantined = _load_matrix_checkpoint(
+            checkpoint, meta)
         for key, result in completed.items():
             if key in wanted:
                 matrix.results[key] = result
@@ -321,9 +270,18 @@ def run_matrix(
 
     remaining = jobs
     last_error: Dict[MatrixKey, str] = {}
-    for _attempt in range(1 + max_retries):
+    for attempt in range(1 + max_retries):
         if not remaining:
             break
+        if attempt > 0:
+            # Transient failures (a wedged worker, a briefly exhausted
+            # machine) should not be hammered back-to-back; the delay
+            # is seeded, so reruns sleep the same schedule.
+            delay = backoff_delay(seed, SITE_MATRIX_RETRY, 0, attempt - 1,
+                                  base=retry_backoff,
+                                  cap=retry_backoff_cap)
+            if delay > 0.0:
+                time.sleep(delay)
         if processes <= 1 or len(remaining) <= 1:
             done, failures = _run_round_inline(remaining)
         else:
@@ -334,7 +292,7 @@ def run_matrix(
                 matrix.retried.append(key)
         matrix.results.update(done)
         if done and checkpoint is not None:
-            _save_checkpoint(checkpoint, meta, matrix.results)
+            _save_matrix_checkpoint(checkpoint, meta, matrix.results)
         remaining = [job for job, _ in failures]
         last_error = {_job_key(job): message for job, message in failures}
 

@@ -14,7 +14,7 @@ finishes in about a minute at the default frame count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from .config import (
     MAB,
     RACE_TO_SLEEP,
     RACING,
+    SchemeConfig,
     SimulationConfig,
 )
 from .core.pipeline import simulate
@@ -61,9 +62,9 @@ class _Runs:
         self.frames = frames
         self.seed = seed
         self.config = config or SimulationConfig()
-        self._cache: Dict[tuple, RunResult] = {}
+        self._cache: Dict[Tuple[str, str], RunResult] = {}
 
-    def get(self, video: str, scheme) -> RunResult:
+    def get(self, video: str, scheme: SchemeConfig) -> RunResult:
         key = (video, scheme.name)
         if key not in self._cache:
             self._cache[key] = simulate(workload(video), scheme,
@@ -71,8 +72,8 @@ class _Runs:
                                         seed=self.seed, config=self.config)
         return self._cache[key]
 
-    def normalized(self, scheme) -> float:
-        values = []
+    def normalized(self, scheme: SchemeConfig) -> float:
+        values: List[float] = []
         for video in _VIDEOS:
             base = self.get(video, BASELINE).energy.total
             values.append(self.get(video, scheme).energy.total / base)
@@ -374,7 +375,7 @@ def validate_against_paper(
     surrogate_run = run_fleet(fleet_spec, 5000, seed=seed, shards=3,
                               contention=False,
                               calibration=fleet_calib, config=cfg)
-    errors = []
+    errors: List[float] = []
     weighted = 0.0
     for title in fleet_titles:
         cohort = surrogate_run.cohort(f"title:{title}")
@@ -409,10 +410,77 @@ def validate_against_paper(
     add("cell-contention fleet dominates private-trace fleet",
         ">1.0x energy, more stalls", energy_ratio, dominates)
 
+    # 3. Supervised shard execution under injected crashes, stalls,
+    #    and corrupt partials must reproduce the undisturbed serial
+    #    run bit for bit: retried, speculated, and re-delivered
+    #    stripes fold into the result exactly once.
+    import json as json_mod
+
+    from .faults import ShardFaultConfig
+    from .fleet import (
+        SupervisedFleetRun,
+        SupervisorConfig,
+        run_fleet_supervised,
+    )
+
+    serial_ref = run_fleet(fleet_spec, 3000, seed=seed, shards=1,
+                           contention=True,
+                           calibration=fleet_calib, config=cfg)
+    chaos_run = run_fleet_supervised(
+        fleet_spec, 3000, seed=seed, shards=4, contention=True,
+        calibration=fleet_calib, config=cfg,
+        faults=ShardFaultConfig(crash_rate=0.35, stall_rate=0.1,
+                                corrupt_rate=0.25,
+                                max_faulty_attempts=2, seed=seed + 1),
+        supervisor=SupervisorConfig(
+            workers=2, lease_seconds=0.8, heartbeat_seconds=0.1,
+            max_retries=6, backoff_base=0.02, backoff_cap=0.25))
+    absorbed = chaos_run.report.faults_absorbed
+    identical = (json_mod.dumps(serial_ref.to_jsonable(), sort_keys=True)
+                 == json_mod.dumps(chaos_run.result.to_jsonable(),
+                                   sort_keys=True))
+    add("supervised fleet under injected crashes matches serial run",
+        "bit-identical JSON, faults absorbed", float(absorbed),
+        identical and absorbed > 0)
+
+    # 4. Speculative re-execution is a latency tool, not a result
+    #    knob: under a seeded slow-worker distribution it must cut the
+    #    p99 stripe completion time without changing a bit of the
+    #    result.  (Slow workers sleep, so even a single-core CI box
+    #    shows the win.)
+    slow_faults = ShardFaultConfig(slow_rate=0.4, slow_seconds=2.0,
+                                   max_faulty_attempts=1,
+                                   seed=seed + 2)
+
+    def speculation_run(speculate: bool) -> SupervisedFleetRun:
+        return run_fleet_supervised(
+            fleet_spec, 3000, seed=seed, shards=6, contention=False,
+            calibration=fleet_calib, config=cfg, faults=slow_faults,
+            supervisor=SupervisorConfig(
+                workers=2, lease_seconds=4.0, heartbeat_seconds=0.1,
+                max_retries=3, backoff_base=0.02, backoff_cap=0.25,
+                speculate=speculate, speculation_factor=3.0,
+                speculation_min_completed=2,
+                speculation_min_seconds=0.4))
+
+    patient = speculation_run(False)
+    eager = speculation_run(True)
+    p99_patient = patient.report.p99_stripe_seconds("score")
+    p99_eager = eager.report.p99_stripe_seconds("score")
+    p99_ratio = p99_eager / max(p99_patient, 1e-9)
+    same_bits = (json_mod.dumps(patient.result.to_jsonable(),
+                                sort_keys=True)
+                 == json_mod.dumps(eager.result.to_jsonable(),
+                                   sort_keys=True))
+    add("speculation cuts p99 stripe time without changing the result",
+        "<0.7x p99, bit-identical", p99_ratio,
+        same_bits and eager.report.speculations > 0
+        and p99_ratio < 0.7)
+
     # --- realtime: emergent impairments, recovery, and the ladder ---------
     report("realtime")
     from .config import RealtimeConfig
-    from .realtime import simulate_realtime
+    from .realtime import RealtimeResult, simulate_realtime
     from .units import MBPS
 
     # 1. FEC beats bounded retransmission on deadline-miss fraction when
@@ -426,7 +494,7 @@ def validate_against_paper(
     rt_profile = workload("V8")
     rt_frames = max(frames, 240)
 
-    def recovery_run(mode: str):
+    def recovery_run(mode: str) -> RealtimeResult:
         rt = RealtimeConfig(
             enabled=True, propagation_delay=0.070, latency_budget=0.150,
             link_rate=6 * MBPS, start_rate=3 * MBPS, min_rate=1 * MBPS,
@@ -455,7 +523,7 @@ def validate_against_paper(
     #    than 5 % extra energy.
     cliff = ((3.0, 0.22), (6.0, 1.0), (9.0, 0.22), (12.0, 1.0))
 
-    def ladder_run(ladder: bool):
+    def ladder_run(ladder: bool) -> RealtimeResult:
         rt = RealtimeConfig(enabled=True, link_rate=6 * MBPS,
                             ladder=ladder, rate_schedule=cliff, seed=seed)
         return simulate_realtime(dc_replace(cfg, realtime=rt),

@@ -126,7 +126,7 @@ class TestCheckpointing:
         assert set(matrix) == {("V8", "Baseline")}
         assert not matrix.resumed
         assert list(matrix.quarantined) == [ckpt + ".corrupt"]
-        assert "different matrix" in matrix.quarantined[ckpt + ".corrupt"]
+        assert "different run" in matrix.quarantined[ckpt + ".corrupt"]
         assert os.path.exists(ckpt + ".corrupt")
         # The fresh run rewrote a valid checkpoint for the new matrix.
         data = json.loads(open(ckpt).read())
@@ -174,3 +174,83 @@ class TestCheckpointing:
         assert not matrix.resumed
         reason = matrix.quarantined[ckpt + ".corrupt"]
         assert "completed[0]" in reason
+
+
+class TestRetryBackoff:
+    def _recorded_sleeps(self, monkeypatch):
+        import repro.runner as runner_mod
+        recorded = []
+        monkeypatch.setattr(runner_mod.time, "sleep",
+                            lambda s: recorded.append(s))
+        return recorded
+
+    def test_backoff_schedule_is_seeded_and_exponential(
+            self, monkeypatch):
+        from repro.backoff import SITE_MATRIX_RETRY, backoff_delay
+        recorded = self._recorded_sleeps(monkeypatch)
+        run_matrix(videos=["BOGUS"], schemes=(BASELINE,), n_frames=16,
+                   seed=2, processes=1, max_retries=2,
+                   retry_backoff=0.5, retry_backoff_cap=8.0)
+        expected = [backoff_delay(2, SITE_MATRIX_RETRY, 0, attempt,
+                                  base=0.5, cap=8.0)
+                    for attempt in range(2)]
+        assert recorded == expected
+        # Monotone growth (jitter never outweighs the doubling) and a
+        # reproducible schedule on rerun.
+        assert recorded[0] < recorded[1]
+        rerun = self._recorded_sleeps(monkeypatch)
+        run_matrix(videos=["BOGUS"], schemes=(BASELINE,), n_frames=16,
+                   seed=2, processes=1, max_retries=2,
+                   retry_backoff=0.5, retry_backoff_cap=8.0)
+        assert rerun == expected
+
+    def test_zero_base_disables_backoff(self, monkeypatch):
+        recorded = self._recorded_sleeps(monkeypatch)
+        run_matrix(videos=["BOGUS"], schemes=(BASELINE,), n_frames=16,
+                   seed=2, processes=1, max_retries=2,
+                   retry_backoff=0.0)
+        assert recorded == []
+
+    def test_no_backoff_without_failures(self, monkeypatch):
+        recorded = self._recorded_sleeps(monkeypatch)
+        run_matrix(videos=["V8"], schemes=(BASELINE,), n_frames=16,
+                   seed=2, processes=1, max_retries=3)
+        assert recorded == []
+
+
+class TestCheckpointEdgeCases:
+    def test_superset_checkpoint_stale_jobs_ignored(self, tmp_path):
+        """Meta matches but the checkpoint holds a strict superset of
+        the requested matrix: stale jobs must be ignored, not merged."""
+        ckpt = str(tmp_path / "matrix.json")
+        kwargs = dict(schemes=(BASELINE, GAB), n_frames=16, seed=2,
+                      processes=1)
+        run_matrix(videos=["V8", "V1"], checkpoint=ckpt, **kwargs)
+        matrix = run_matrix(videos=["V8"], checkpoint=ckpt, **kwargs)
+        assert set(matrix) == {("V8", "Baseline"), ("V8", "GAB")}
+        assert sorted(matrix.resumed) == [("V8", "Baseline"),
+                                          ("V8", "GAB")]
+        assert not matrix.quarantined
+        assert all(video == "V8" for video, _ in matrix)
+
+    def test_readonly_checkpoint_dir_raises(self, tmp_path,
+                                            monkeypatch):
+        """A corrupt checkpoint that cannot be quarantined (read-only
+        directory) must raise instead of silently dropping durability.
+
+        The rename failure is injected because the suite may run as
+        root, which a read-only directory bit does not stop.
+        """
+        import repro.checkpointing as ckpt_mod
+        ckpt = tmp_path / "matrix.json"
+        ckpt.write_text("{not json")
+
+        def denied(src, dst):
+            raise OSError(30, "Read-only file system", src)
+
+        monkeypatch.setattr(ckpt_mod.os, "replace", denied)
+        with pytest.raises(RunnerError, match="cannot quarantine"):
+            run_matrix(videos=["V8"], schemes=(BASELINE,), n_frames=16,
+                       seed=2, processes=1, checkpoint=str(ckpt))
+        # The evidence file must still be in place, untouched.
+        assert ckpt.read_text() == "{not json"
